@@ -1,0 +1,32 @@
+// Ablation (§2.2/§2.4): one shared buffer vs the A/B pair. The second buffer
+// is what lets the root copy the next chunk while consumers drain the
+// previous one, and what lets consecutive operations alternate buffers.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+using namespace srm;
+using namespace srm::bench;
+
+int main() {
+  std::printf("Ablation: one vs two shared-memory buffers (256 CPUs)\n");
+  std::vector<std::size_t> sizes = {8,     4096,   16384,   32768,
+                                    65536, 262144, 1u << 20};
+  std::vector<std::string> rows;
+  for (auto s : sizes) rows.push_back(util::human_bytes(s));
+  std::vector<std::vector<double>> cells(sizes.size(),
+                                         std::vector<double>(2, 0.0));
+  for (int two = 0; two < 2; ++two) {
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      SrmConfig cfg;
+      cfg.use_two_buffers = two == 1;
+      Bench b(Impl::srm, 16, 16, cfg);
+      cells[si][static_cast<std::size_t>(two)] =
+          b.time_bcast(sizes[si], iters_for(sizes[si]));
+    }
+  }
+  print_table("SRM broadcast: single vs double buffering", "bytes", rows,
+              {"1 buffer", "2 buffers"}, cells, "us");
+  return 0;
+}

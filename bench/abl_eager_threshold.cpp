@@ -1,0 +1,42 @@
+// Ablation (§2.3): the Eager->Rendezvous switch as a function of task count.
+// IBM MPI shrinks the eager limit as P grows (to bound P-1 eager buffers per
+// task), pushing medium messages onto the slower rendezvous path — one of
+// the structural handicaps SRM's explicit buffer management avoids.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+using namespace srm;
+using namespace srm::bench;
+
+int main() {
+  std::printf(
+      "Ablation: MPI eager limit scaling (bcast, medium messages)\n"
+      "'adaptive' = IBM-style shrink-with-P; 'fixed4K' = size-independent\n");
+  std::vector<std::size_t> sizes = {512, 1024, 2048, 4096};
+  std::vector<std::string> rows, cols;
+  for (auto s : sizes) rows.push_back(util::human_bytes(s));
+  for (int cpus : cpu_sweep()) {
+    cols.push_back("P=" + std::to_string(cpus));
+  }
+
+  for (bool adaptive : {true, false}) {
+    std::vector<std::vector<double>> cells(sizes.size(),
+                                           std::vector<double>(cols.size()));
+    for (std::size_t ci = 0; ci < cpu_sweep().size(); ++ci) {
+      int cpus = cpu_sweep()[ci];
+      auto params = machine::MachineParams::ibm_sp();
+      params.mpi_ibm.eager_scales_with_tasks = adaptive;
+      params.mpi_ibm.eager_limit_base = 4096;
+      for (std::size_t si = 0; si < sizes.size(); ++si) {
+        Bench b(Impl::mpi_ibm, cpus / 16, 16, {}, params);
+        cells[si][ci] = b.time_bcast(sizes[si], 4);
+      }
+    }
+    print_table(adaptive ? "IBM MPI bcast, adaptive eager limit"
+                         : "IBM MPI bcast, fixed 4K eager limit",
+                "bytes", rows, cols, cells, "us");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation (§2.1/§3): how much of SRM's win comes from the SMP embedding.
+// Fix 256 CPUs and vary the node fatness: the fatter the nodes, the larger
+// the fraction of the tree served by shared memory ("[the embedding] has a
+// more profound effect when a larger fraction of the processors can
+// communicate through shared memory").
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+using namespace srm;
+using namespace srm::bench;
+
+int main() {
+  std::printf("Ablation: node fatness at fixed 256 CPUs\n");
+  struct Shape {
+    int nodes, ppn;
+  };
+  std::vector<Shape> shapes = {{256, 1}, {64, 4}, {32, 8}, {16, 16}};
+  std::vector<std::size_t> sizes = {8, 1024, 16384, 262144};
+  std::vector<std::string> rows, cols;
+  for (auto s : sizes) rows.push_back(util::human_bytes(s));
+  for (auto sh : shapes) {
+    cols.push_back(std::to_string(sh.nodes) + "x" + std::to_string(sh.ppn));
+  }
+
+  for (const char* op : {"bcast", "allreduce", "barrier"}) {
+    std::vector<std::vector<double>> cells(
+        op[0] == 'b' && op[1] == 'a' ? 1 : sizes.size(),
+        std::vector<double>(shapes.size()));
+    for (std::size_t ci = 0; ci < shapes.size(); ++ci) {
+      Bench b(Impl::srm, shapes[ci].nodes, shapes[ci].ppn);
+      if (std::string(op) == "barrier") {
+        cells[0][ci] = b.time_barrier();
+      } else {
+        for (std::size_t si = 0; si < sizes.size(); ++si) {
+          cells[si][ci] = std::string(op) == "bcast"
+                              ? b.time_bcast(sizes[si], iters_for(sizes[si]))
+                              : b.time_allreduce(sizes[si] / 8,
+                                                 iters_for(sizes[si]));
+        }
+      }
+    }
+    if (std::string(op) == "barrier") {
+      print_table("SRM barrier by node fatness", "-", {"barrier"}, cols,
+                  cells, "us");
+    } else {
+      print_table(std::string("SRM ") + op + " by node fatness", "bytes",
+                  rows, cols, cells, "us");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Analytical-model validation (§5 future work): predicted vs simulated SRM
+// latencies across operations, sizes, and machine shapes, with the ratio.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "model/model.hpp"
+#include "util/format.hpp"
+
+using namespace srm;
+using namespace srm::bench;
+
+int main() {
+  std::printf(
+      "Analytical model vs discrete-event simulation (SRM operations)\n");
+  struct Row {
+    const char* op;
+    std::size_t bytes;
+  };
+  std::vector<Row> grid = {
+      {"bcast", 8},        {"bcast", 4096},     {"bcast", 65536},
+      {"bcast", 1u << 20}, {"reduce", 8},       {"reduce", 65536},
+      {"reduce", 1u << 20}, {"allreduce", 1024}, {"allreduce", 1u << 20},
+      {"barrier", 0},
+  };
+  for (auto [nodes, ppn] : {std::pair{16, 16}, std::pair{8, 4}}) {
+    std::printf("\n-- %d nodes x %d tasks --\n", nodes, ppn);
+    std::printf("%-10s %10s %12s %12s %8s\n", "op", "bytes", "model(us)",
+                "sim(us)", "ratio");
+    for (auto [op, bytes] : grid) {
+      model::Inputs in;
+      in.nodes = nodes;
+      in.tasks_per_node = ppn;
+      std::string o = op;
+      double mdl = o == "bcast"       ? model::bcast_us(in, bytes)
+                   : o == "reduce"    ? model::reduce_us(in, bytes)
+                   : o == "allreduce" ? model::allreduce_us(in, bytes)
+                                      : model::barrier_us(in);
+      Bench b(Impl::srm, nodes, ppn);
+      double sim = o == "bcast"    ? b.time_bcast(bytes, 1)
+                   : o == "reduce" ? b.time_reduce(bytes / 8, 1)
+                   : o == "allreduce"
+                       ? b.time_allreduce(bytes / 8, 1)
+                       : b.time_barrier(1);
+      std::printf("%-10s %10s %12s %12s %7.2fx\n", op,
+                  util::human_bytes(bytes).c_str(), util::fmt_us(mdl).c_str(),
+                  util::fmt_us(sim).c_str(), mdl / sim);
+    }
+  }
+  return 0;
+}

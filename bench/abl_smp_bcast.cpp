@@ -1,0 +1,33 @@
+// Ablation (§2.2): flat two-buffer SMP broadcast vs the tree-structured
+// variant. The paper: "Despite the contention in simultaneous read access to
+// the shared memory buffer, this [flat] algorithm has achieved a much better
+// performance than the tree-based algorithms." Single 16-way node.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+using namespace srm;
+using namespace srm::bench;
+
+int main() {
+  std::printf("Ablation: SMP broadcast algorithm (single 16-way node)\n");
+  std::vector<std::size_t> sizes = {8,     256,    4096,  16384,
+                                    65536, 262144, 1u << 20};
+  std::vector<std::string> rows;
+  for (auto s : sizes) rows.push_back(util::human_bytes(s));
+  std::vector<std::vector<double>> cells(sizes.size(),
+                                         std::vector<double>(2, 0.0));
+  for (int tree = 0; tree < 2; ++tree) {
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      SrmConfig cfg;
+      cfg.smp_bcast_tree = tree == 1;
+      Bench b(Impl::srm, 1, 16, cfg);
+      cells[si][static_cast<std::size_t>(tree)] =
+          b.time_bcast(sizes[si], iters_for(sizes[si]));
+    }
+  }
+  print_table("SMP broadcast: flat (Fig. 3) vs tree flags", "bytes", rows,
+              {"flat", "tree"}, cells, "us");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 6: performance of SRM broadcast.
+//   Left panel:  absolute SRM time vs message size (8 B .. 8 MB), one series
+//                per processor count (16..256 CPUs, 16 tasks/node).
+//   Right panel: SRM vs IBM MPI vs MPICH for 8 B .. 64 KB on 256 CPUs.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+using namespace srm;
+using namespace srm::bench;
+
+int main() {
+  std::printf("Figure 6: SRM broadcast (16 tasks/node)\n");
+
+  // Left: absolute performance, log-spaced sizes.
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 8; s <= (8u << 20); s *= 4) sizes.push_back(s);
+  std::vector<std::string> rows, cols;
+  std::vector<std::vector<double>> cells;
+  for (auto s : sizes) rows.push_back(util::human_bytes(s));
+  for (int cpus : cpu_sweep()) cols.push_back("P=" + std::to_string(cpus));
+  cells.resize(sizes.size(), std::vector<double>(cols.size(), 0.0));
+  for (std::size_t ci = 0; ci < cpu_sweep().size(); ++ci) {
+    int cpus = cpu_sweep()[ci];
+    for (std::size_t ri = 0; ri < sizes.size(); ++ri) {
+      Bench b(Impl::srm, cpus / 16, 16);
+      cells[ri][ci] = b.time_bcast(sizes[ri], iters_for(sizes[ri]));
+    }
+  }
+  print_table("Fig 6 (left): SRM broadcast absolute time", "bytes", rows,
+              cols, cells, "us");
+
+  // Right: comparison on 256 CPUs for 8 B .. 64 KB.
+  std::vector<std::size_t> small;
+  for (std::size_t s = 8; s <= (64u << 10); s *= 2) small.push_back(s);
+  std::vector<std::string> rows2;
+  for (auto s : small) rows2.push_back(util::human_bytes(s));
+  std::vector<std::vector<double>> cells2(small.size(),
+                                          std::vector<double>(3, 0.0));
+  Impl impls[] = {Impl::srm, Impl::mpi_ibm, Impl::mpi_mpich};
+  for (int ii = 0; ii < 3; ++ii) {
+    for (std::size_t ri = 0; ri < small.size(); ++ri) {
+      Bench b(impls[ii], 16, 16);
+      cells2[ri][static_cast<std::size_t>(ii)] =
+          b.time_bcast(small[ri], iters_for(small[ri]));
+    }
+  }
+  print_table("Fig 6 (right): broadcast on 256 CPUs, 8B-64KB", "bytes", rows2,
+              {"SRM", "IBM-MPI", "MPICH"}, cells2, "us");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 8: performance of SRM allreduce (sum of doubles).
+//   Left panel:  absolute SRM time vs element count, per processor count.
+//   Right panel: SRM vs IBM MPI vs MPICH for 8 B .. 64 KB on 256 CPUs.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+using namespace srm;
+using namespace srm::bench;
+
+int main() {
+  std::printf("Figure 8: SRM allreduce, MPI_SUM over doubles (16 tasks/node)\n");
+
+  std::vector<std::size_t> counts;
+  for (std::size_t c = 1; c <= (1u << 20); c *= 4) counts.push_back(c);
+  std::vector<std::string> rows, cols;
+  for (auto c : counts) rows.push_back(util::human_bytes(c * 8));
+  for (int cpus : cpu_sweep()) cols.push_back("P=" + std::to_string(cpus));
+  std::vector<std::vector<double>> cells(counts.size(),
+                                         std::vector<double>(cols.size()));
+  for (std::size_t ci = 0; ci < cpu_sweep().size(); ++ci) {
+    int cpus = cpu_sweep()[ci];
+    for (std::size_t ri = 0; ri < counts.size(); ++ri) {
+      Bench b(Impl::srm, cpus / 16, 16);
+      cells[ri][ci] = b.time_allreduce(counts[ri], iters_for(counts[ri] * 8));
+    }
+  }
+  print_table("Fig 8 (left): SRM allreduce absolute time", "bytes", rows,
+              cols, cells, "us");
+
+  std::vector<std::size_t> small;
+  for (std::size_t c = 1; c <= (8u << 10); c *= 2) small.push_back(c);
+  std::vector<std::string> rows2;
+  for (auto c : small) rows2.push_back(util::human_bytes(c * 8));
+  std::vector<std::vector<double>> cells2(small.size(),
+                                          std::vector<double>(3, 0.0));
+  Impl impls[] = {Impl::srm, Impl::mpi_ibm, Impl::mpi_mpich};
+  for (int ii = 0; ii < 3; ++ii) {
+    for (std::size_t ri = 0; ri < small.size(); ++ri) {
+      Bench b(impls[ii], 16, 16);
+      cells2[ri][static_cast<std::size_t>(ii)] =
+          b.time_allreduce(small[ri], iters_for(small[ri] * 8));
+    }
+  }
+  print_table("Fig 8 (right): allreduce on 256 CPUs, 8B-64KB", "bytes",
+              rows2, {"SRM", "IBM-MPI", "MPICH"}, cells2, "us");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 9: SRM broadcast time as a fraction of IBM MPI (left) and MPICH
+// (right) MPI_Bcast, across sizes and processor counts.
+#include "ratio_figure.hpp"
+
+using namespace srm::bench;
+
+int main() {
+  run_ratio_figure("Fig 9", "broadcast", [](Bench& b, std::size_t bytes) {
+    return b.time_bcast(bytes, iters_for(bytes));
+  });
+  return 0;
+}

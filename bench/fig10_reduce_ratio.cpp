@@ -1,0 +1,12 @@
+// Figure 10: SRM reduce time as a fraction of IBM MPI (left) and MPICH
+// (right) MPI_Reduce, across sizes and processor counts.
+#include "ratio_figure.hpp"
+
+using namespace srm::bench;
+
+int main() {
+  run_ratio_figure("Fig 10", "reduce", [](Bench& b, std::size_t bytes) {
+    return b.time_reduce(bytes / 8, iters_for(bytes));
+  });
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 11: SRM allreduce time as a fraction of IBM MPI (left) and MPICH
+// (right) MPI_Allreduce, across sizes and processor counts.
+#include "ratio_figure.hpp"
+
+using namespace srm::bench;
+
+int main() {
+  run_ratio_figure("Fig 11", "allreduce", [](Bench& b, std::size_t bytes) {
+    return b.time_allreduce(bytes / 8, iters_for(bytes));
+  });
+  return 0;
+}

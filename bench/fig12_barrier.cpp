@@ -1,0 +1,28 @@
+// Figure 12: barrier time vs processor count — SRM, IBM MPI, MPICH,
+// 16 tasks/node, 16..256 CPUs.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+using namespace srm::bench;
+
+int main() {
+  std::printf("Figure 12: barrier latency vs processor count\n");
+  std::vector<std::string> rows, cols = {"SRM", "IBM-MPI", "MPICH"};
+  std::vector<std::vector<double>> cells;
+  for (int cpus : cpu_sweep()) {
+    rows.push_back(std::to_string(cpus));
+    std::vector<double> row;
+    for (Impl impl : {Impl::srm, Impl::mpi_ibm, Impl::mpi_mpich}) {
+      Bench b(impl, cpus / 16, 16);
+      row.push_back(b.time_barrier());
+    }
+    cells.push_back(row);
+  }
+  print_table("Fig 12: barrier", "CPUs", rows, cols, cells, "us");
+
+  double srm256 = cells.back()[0], ibm256 = cells.back()[1];
+  std::printf("\nImprovement over IBM MPI on 256 CPUs: %.0f%% (paper: 73%%)\n",
+              100.0 * (1.0 - srm256 / ibm256));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Headline claims (§1/§3): the improvement bands SRM achieves over IBM MPI,
+// measured across the same size x processor-count grid the paper swept.
+//
+//   broadcast : 27% .. 84%      allreduce : 30% .. 73%
+//   reduce    : 24% .. 79%      barrier   : 73% on 256 CPUs
+//
+// Improvement = (1 - T_SRM / T_IBM) * 100%. The reproduction targets the
+// band's *shape* (SRM always wins; wins biggest in the middle sizes; wins
+// shrink at the largest processor counts), not exact endpoints.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+using namespace srm::bench;
+
+namespace {
+
+struct Band {
+  double lo = 1e9, hi = -1e9;
+  void add(double x) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+};
+
+using Timer = double (*)(Bench&, std::size_t);
+
+Band sweep(const char* op, Timer timer) {
+  std::vector<std::size_t> sizes = {8,      64,     1024,    8192,
+                                    65536,  262144, 1u << 20, 8u << 20};
+  Band band;
+  for (int cpus : cpu_sweep()) {
+    for (auto s : sizes) {
+      Bench a(Impl::srm, cpus / 16, 16);
+      Bench b(Impl::mpi_ibm, cpus / 16, 16);
+      double ts = timer(a, s), ti = timer(b, s);
+      double improvement = 100.0 * (1.0 - ts / ti);
+      band.add(improvement);
+    }
+    std::printf("  %s P=%d done\n", op, cpus);
+    std::fflush(stdout);
+  }
+  return band;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Headline improvement bands vs IBM MPI\n");
+  Band bc = sweep("broadcast", [](Bench& b, std::size_t s) {
+    return b.time_bcast(s, iters_for(s));
+  });
+  Band rd = sweep("reduce", [](Bench& b, std::size_t s) {
+    return b.time_reduce(s / 8, iters_for(s));
+  });
+  Band ar = sweep("allreduce", [](Bench& b, std::size_t s) {
+    return b.time_allreduce(s / 8, iters_for(s));
+  });
+  Bench bs(Impl::srm, 16, 16);
+  Bench bi(Impl::mpi_ibm, 16, 16);
+  double barrier_improvement =
+      100.0 * (1.0 - bs.time_barrier() / bi.time_barrier());
+
+  std::printf("\n%-10s %-22s %s\n", "op", "measured band", "paper band");
+  std::printf("%-10s %5.0f%% .. %5.0f%%        27%% .. 84%%\n", "broadcast",
+              bc.lo, bc.hi);
+  std::printf("%-10s %5.0f%% .. %5.0f%%        24%% .. 79%%\n", "reduce",
+              rd.lo, rd.hi);
+  std::printf("%-10s %5.0f%% .. %5.0f%%        30%% .. 73%%\n", "allreduce",
+              ar.lo, ar.hi);
+  std::printf("%-10s %5.0f%% (256 CPUs)      73%% (256 CPUs)\n", "barrier",
+              barrier_improvement);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Micro-benchmarks of the simulator itself (real wall-clock time, via
+// google-benchmark): event throughput, coroutine chains, fair-share
+// bandwidth accounting, and end-to-end cost of simulating one collective.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+using namespace srm;
+
+static void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 10000; ++i) {
+      eng.call_at(static_cast<sim::Time>(i), [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+namespace {
+sim::CoTask chain(sim::Engine& eng, int hops) {
+  for (int i = 0; i < hops; ++i) co_await eng.sleep(sim::ns(1));
+}
+}  // namespace
+
+static void BM_CoroutineHops(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(chain(eng, 10000));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoroutineHops);
+
+static void BM_FairShareChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::FairShareResource r(eng, 1e9, 100e6);
+    for (int i = 0; i < 1000; ++i) r.start(1000.0 + i);
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FairShareChurn);
+
+static void BM_SimulateSmallBcast256(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::Bench b(bench::Impl::srm, 16, 16);
+    benchmark::DoNotOptimize(b.time_bcast(1024, 2));
+  }
+}
+BENCHMARK(BM_SimulateSmallBcast256)->Unit(benchmark::kMillisecond);
+
+static void BM_SimulateBarrier256(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::Bench b(bench::Impl::srm, 16, 16);
+    benchmark::DoNotOptimize(b.time_barrier(5));
+  }
+}
+BENCHMARK(BM_SimulateBarrier256)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Shared driver for Figures 9-11: T_SRM / T_MPI * 100% tables, one table per
+// baseline (IBM MPI left, MPICH right in the paper), rows = message sizes,
+// columns = processor counts. Values below 100 mean SRM is faster.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+
+namespace srm::bench {
+
+using TimeOp = std::function<double(Bench&, std::size_t bytes)>;
+
+inline void run_ratio_figure(const std::string& figure,
+                             const std::string& opname, const TimeOp& timer) {
+  // Log-spaced sizes spanning every protocol regime: eager, the SRM
+  // pipeline band, the 64 KB switch, rendezvous, deep large-message.
+  std::vector<std::size_t> sizes = {8,         64,        512,
+                                    4096,      16384,     65536,
+                                    262144,    1u << 20,  8u << 20};
+  std::vector<std::string> rows, cols;
+  for (auto s : sizes) rows.push_back(util::human_bytes(s));
+  for (int cpus : cpu_sweep()) cols.push_back("P=" + std::to_string(cpus));
+
+  // Time all three implementations at every grid point.
+  std::vector<std::vector<double>> t_srm(sizes.size(),
+                                         std::vector<double>(cols.size()));
+  auto t_ibm = t_srm, t_mpich = t_srm;
+  for (std::size_t ci = 0; ci < cpu_sweep().size(); ++ci) {
+    int cpus = cpu_sweep()[ci];
+    for (std::size_t ri = 0; ri < sizes.size(); ++ri) {
+      {
+        Bench b(Impl::srm, cpus / 16, 16);
+        t_srm[ri][ci] = timer(b, sizes[ri]);
+      }
+      {
+        Bench b(Impl::mpi_ibm, cpus / 16, 16);
+        t_ibm[ri][ci] = timer(b, sizes[ri]);
+      }
+      {
+        Bench b(Impl::mpi_mpich, cpus / 16, 16);
+        t_mpich[ri][ci] = timer(b, sizes[ri]);
+      }
+    }
+  }
+
+  auto ratio = [&](const std::vector<std::vector<double>>& base) {
+    std::vector<std::vector<double>> r(sizes.size(),
+                                       std::vector<double>(cols.size()));
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        r[i][j] = 100.0 * t_srm[i][j] / base[i][j];
+      }
+    }
+    return r;
+  };
+
+  std::printf("%s: SRM %s time as %% of the baseline (lower is better)\n",
+              figure.c_str(), opname.c_str());
+  print_table(figure + " (left): vs IBM MPI", "bytes", rows, cols,
+              ratio(t_ibm), "% of IBM MPI");
+  print_table(figure + " (right): vs MPICH", "bytes", rows, cols,
+              ratio(t_mpich), "% of MPICH");
+}
+
+}  // namespace srm::bench

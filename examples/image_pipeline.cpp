@@ -1,0 +1,92 @@
+// Data-parallel processing pipeline using the extended collectives:
+// rank 0 holds a "frame" (image rows); it scatters row blocks, every rank
+// filters its block locally, per-frame statistics come back through
+// allreduce, and the processed frame is gathered in place — the
+// scatter/compute/gather cycle that dominates data-parallel codes.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/communicator.hpp"
+#include "util/rng.hpp"
+
+using srm::machine::Cluster;
+using srm::machine::ClusterConfig;
+using srm::machine::TaskCtx;
+using srm::sim::CoTask;
+
+namespace {
+constexpr int kWidth = 512;
+constexpr int kRowsPerRank = 16;
+constexpr int kFrames = 4;
+}  // namespace
+
+int main() {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.tasks_per_node = 8;
+  Cluster cluster(cfg);
+  srm::lapi::Fabric fabric(cluster);
+  srm::Communicator comm(cluster, fabric);
+
+  int nranks = cfg.nodes * cfg.tasks_per_node;
+  std::size_t block = static_cast<std::size_t>(kRowsPerRank) * kWidth;
+  std::size_t frame_px = block * static_cast<std::size_t>(nranks);
+  double checksum = 0.0;
+
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<float> frame;  // significant at rank 0 only
+    srm::util::SplitMix64 rng(0xf00d);
+    std::vector<float> mine(block), filtered(block);
+
+    for (int f = 0; f < kFrames; ++f) {
+      if (t.rank == 0) {
+        frame.resize(frame_px);
+        for (auto& px : frame) {
+          px = static_cast<float>(rng.next_double()) + f;
+        }
+      }
+
+      // Distribute row blocks.
+      co_await comm.scatter(t, frame.data(), mine.data(), block,
+                            sizeof(float), 0);
+
+      // Local 1-D blur + local max.
+      float local_max = 0.0f;
+      for (std::size_t i = 0; i < block; ++i) {
+        float left = i > 0 ? mine[i - 1] : mine[i];
+        float right = i + 1 < block ? mine[i + 1] : mine[i];
+        filtered[i] = 0.25f * left + 0.5f * mine[i] + 0.25f * right;
+        local_max = std::max(local_max, filtered[i]);
+      }
+
+      // Global per-frame statistic for normalization.
+      float frame_max = 0.0f;
+      co_await comm.allreduce(t, &local_max, &frame_max, 1,
+                              srm::coll::Dtype::f32, srm::coll::RedOp::max);
+      for (auto& px : filtered) px /= frame_max;
+
+      // Collect the processed frame.
+      co_await comm.gather(t, filtered.data(), frame.data(), block,
+                           sizeof(float), 0);
+
+      if (t.rank == 0) {
+        double sum = 0.0;
+        for (float px : frame) sum += px;
+        checksum += sum / static_cast<double>(frame_px);
+        std::printf("frame %d: mean normalized intensity %.4f (t=%.1f us)\n",
+                    f, sum / static_cast<double>(frame_px),
+                    srm::sim::to_us(t.eng->now()));
+      }
+    }
+  });
+
+  // Normalized means must be in (0, 1] and grow with the frame offset.
+  if (checksum <= 0.0 || checksum > static_cast<double>(kFrames)) {
+    std::fprintf(stderr, "bad checksum %f\n", checksum);
+    return 1;
+  }
+  std::printf("pipeline processed %d frames of %zu px on %d ranks\n",
+              kFrames, frame_px, nranks);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a simulated SMP cluster, create the SRM communicator,
+// and run one broadcast + one allreduce across 4 nodes x 8 tasks.
+//
+//   $ ./examples/quickstart
+//
+// Every task runs as a coroutine inside the discrete-event simulator; the
+// printed times are *virtual* microseconds from the machine model (IBM SP
+// profile), and the data movement is real.
+#include <cstdio>
+#include <vector>
+
+#include "core/communicator.hpp"
+
+using srm::machine::Cluster;
+using srm::machine::ClusterConfig;
+using srm::machine::TaskCtx;
+using srm::sim::CoTask;
+
+int main() {
+  // 1. Describe the machine: 4 SMP nodes, 8 tasks each, SP-like costs.
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.tasks_per_node = 8;
+  Cluster cluster(cfg);
+
+  // 2. The RMA fabric (LAPI-like endpoints) and the SRM communicator.
+  srm::lapi::Fabric fabric(cluster);
+  srm::Communicator comm(cluster, fabric);
+
+  // 3. Every rank runs this coroutine.
+  std::vector<double> sums(32, 0.0);
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    // Rank 3 broadcasts a message to everyone.
+    std::vector<char> greeting(64, 0);
+    if (t.rank == 3) {
+      std::snprintf(greeting.data(), greeting.size(),
+                    "hello from rank 3 (node %d)", t.node());
+    }
+    co_await comm.broadcast(t, greeting.data(), greeting.size(), 3);
+
+    // Everyone contributes rank^2; everyone receives the global sum.
+    double mine = static_cast<double>(t.rank) * t.rank;
+    double sum = 0.0;
+    co_await comm.allreduce(t, &mine, &sum, 1, srm::coll::Dtype::f64,
+                            srm::coll::RedOp::sum);
+    sums[static_cast<std::size_t>(t.rank)] = sum;
+
+    if (t.rank == 0) {
+      std::printf("rank 0 got broadcast: \"%s\"\n", greeting.data());
+      std::printf("allreduce(rank^2) = %.0f (expected %d)\n", sum,
+                  31 * 32 * 63 / 6);
+      std::printf("virtual time elapsed: %.1f us\n",
+                  srm::sim::to_us(t.eng->now()));
+    }
+  });
+  return 0;
+}

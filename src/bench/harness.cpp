@@ -1,0 +1,282 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "util/format.hpp"
+
+namespace srm::bench {
+
+const char* impl_name(Impl i) {
+  switch (i) {
+    case Impl::srm: return "SRM";
+    case Impl::mpi_ibm: return "IBM-MPI";
+    case Impl::mpi_mpich: return "MPICH";
+  }
+  return "?";
+}
+
+namespace {
+
+class SrmAdapter final : public coll::Collectives {
+ public:
+  explicit SrmAdapter(Communicator& c) : c_(&c) {}
+  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                    int root) override {
+    return c_->broadcast(t, buf, bytes, root);
+  }
+  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t count, coll::Dtype d, coll::RedOp op,
+                     int root) override {
+    return c_->reduce(t, send, recv, count, d, op, root);
+  }
+  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t count, coll::Dtype d,
+                        coll::RedOp op) override {
+    return c_->allreduce(t, send, recv, count, d, op);
+  }
+  sim::CoTask barrier(machine::TaskCtx& t) override { return c_->barrier(t); }
+  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
+                      std::size_t bytes_per, int root) override {
+    return c_->scatter(t, send, recv, bytes_per, 1, root);
+  }
+  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t bytes_per, int root) override {
+    return c_->gather(t, send, recv, bytes_per, 1, root);
+  }
+  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t bytes_per) override {
+    return c_->allgather(t, send, recv, bytes_per, 1);
+  }
+  std::string name() const override { return "SRM"; }
+
+ private:
+  Communicator* c_;
+};
+
+class MpiAdapter final : public coll::Collectives {
+ public:
+  MpiAdapter(minimpi::World& w, std::string label)
+      : w_(&w), label_(std::move(label)) {}
+  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                    int root) override {
+    return w_->comm(t.rank).bcast(buf, bytes, root);
+  }
+  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t count, coll::Dtype d, coll::RedOp op,
+                     int root) override {
+    return w_->comm(t.rank).reduce(send, recv, count, d, op, root);
+  }
+  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t count, coll::Dtype d,
+                        coll::RedOp op) override {
+    return w_->comm(t.rank).allreduce(send, recv, count, d, op);
+  }
+  sim::CoTask barrier(machine::TaskCtx& t) override {
+    return w_->comm(t.rank).barrier();
+  }
+  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
+                      std::size_t bytes_per, int root) override {
+    return w_->comm(t.rank).scatter(send, recv, bytes_per, root);
+  }
+  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t bytes_per, int root) override {
+    return w_->comm(t.rank).gather(send, recv, bytes_per, root);
+  }
+  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t bytes_per) override {
+    return w_->comm(t.rank).allgather(send, recv, bytes_per);
+  }
+  std::string name() const override { return label_; }
+
+ private:
+  minimpi::World* w_;
+  std::string label_;
+};
+
+}  // namespace
+
+Bench::Bench(Impl impl, int nodes, int tasks_per_node, SrmConfig srm_cfg,
+             machine::MachineParams params)
+    : impl_(impl) {
+  machine::ClusterConfig cc;
+  cc.nodes = nodes;
+  cc.tasks_per_node = tasks_per_node;
+  cc.params = params;
+  cluster_ = std::make_unique<machine::Cluster>(cc);
+  switch (impl) {
+    case Impl::srm:
+      fabric_ = std::make_unique<lapi::Fabric>(*cluster_);
+      srm_ = std::make_unique<Communicator>(*cluster_, *fabric_, srm_cfg);
+      coll_ = std::make_unique<SrmAdapter>(*srm_);
+      break;
+    case Impl::mpi_ibm:
+      mpi_ = std::make_unique<minimpi::World>(*cluster_, params.mpi_ibm,
+                                              "ibm");
+      coll_ = std::make_unique<MpiAdapter>(*mpi_, "IBM-MPI");
+      break;
+    case Impl::mpi_mpich:
+      mpi_ = std::make_unique<minimpi::World>(*cluster_, params.mpi_mpich,
+                                              "mpich");
+      coll_ = std::make_unique<MpiAdapter>(*mpi_, "MPICH");
+      break;
+  }
+}
+
+namespace {
+
+/// Instrumentation-only synchronization: every rank suspends until all have
+/// arrived, then all resume at the same virtual instant at zero modelled
+/// cost. Any real barrier releases ranks in a wave whose shape correlates
+/// with the measured operation's own wave and hides part of its latency;
+/// a simulator can sidestep that entirely.
+struct PerfectSync {
+  explicit PerfectSync(sim::Engine& eng, int n)
+      : remaining(n), all_here(eng) {}
+  int remaining;
+  sim::Trigger all_here;
+
+  sim::CoTask arrive() {
+    if (--remaining == 0) {
+      all_here.fire();
+    } else {
+      co_await all_here.wait();
+    }
+  }
+};
+
+sim::CoTask measured_body(
+    machine::TaskCtx& t, coll::Collectives& coll,
+    const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
+        op,
+    int iters, int warmup, PerfectSync& sync, std::vector<sim::Time>& start,
+    std::vector<sim::Time>& end) {
+  for (int i = 0; i < warmup; ++i) co_await op(t, coll);
+  co_await sync.arrive();
+  start[static_cast<std::size_t>(t.rank)] = t.eng->now();
+  for (int i = 0; i < iters; ++i) co_await op(t, coll);
+  end[static_cast<std::size_t>(t.rank)] = t.eng->now();
+}
+
+}  // namespace
+
+double Bench::time_collective(
+    const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
+        op,
+    int iters, int warmup) {
+  auto n = static_cast<std::size_t>(cluster_->topology().nranks());
+  std::vector<sim::Time> start(n, 0), end(n, 0);
+  PerfectSync sync(cluster_->engine(), static_cast<int>(n));
+  cluster_->run([&](machine::TaskCtx& t) {
+    return measured_body(t, *coll_, op, iters, warmup, sync, start, end);
+  });
+  sim::Time t0 = *std::max_element(start.begin(), start.end());
+  sim::Time t1 = *std::max_element(end.begin(), end.end());
+  SRM_CHECK(t1 >= t0);
+  return sim::to_us(t1 - t0) / iters;
+}
+
+double Bench::time_bcast(std::size_t bytes, int iters) {
+  return time_collective(
+      [bytes](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        std::vector<char> buf(std::max<std::size_t>(bytes, 1),
+                              static_cast<char>(t.rank));
+        co_await c.bcast(t, buf.data(), bytes, 0);
+      },
+      iters);
+}
+
+double Bench::time_reduce(std::size_t count, int iters) {
+  return time_collective(
+      [count](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        std::vector<double> in(count, 1.0 * t.rank), out(count, 0.0);
+        co_await c.reduce(t, in.data(), out.data(), count, coll::Dtype::f64,
+                          coll::RedOp::sum, 0);
+      },
+      iters);
+}
+
+double Bench::time_allreduce(std::size_t count, int iters) {
+  return time_collective(
+      [count](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        std::vector<double> in(count, 1.0 * t.rank), out(count, 0.0);
+        co_await c.allreduce(t, in.data(), out.data(), count,
+                             coll::Dtype::f64, coll::RedOp::sum);
+      },
+      iters);
+}
+
+double Bench::time_barrier(int iters) {
+  return time_collective(
+      [](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        co_await c.barrier(t);
+      },
+      iters, 3);
+}
+
+double Bench::time_scatter(std::size_t bytes_per, int iters) {
+  return time_collective(
+      [bytes_per](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        std::vector<char> send;
+        if (t.rank == 0) {
+          send.assign(bytes_per * static_cast<std::size_t>(t.nranks()), 'x');
+        }
+        std::vector<char> recv(bytes_per, 0);
+        co_await c.scatter(t, send.data(), recv.data(), bytes_per, 0);
+      },
+      iters);
+}
+
+double Bench::time_gather(std::size_t bytes_per, int iters) {
+  return time_collective(
+      [bytes_per](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        std::vector<char> send(bytes_per, static_cast<char>(t.rank));
+        std::vector<char> recv;
+        if (t.rank == 0) {
+          recv.resize(bytes_per * static_cast<std::size_t>(t.nranks()));
+        }
+        co_await c.gather(t, send.data(), recv.data(), bytes_per, 0);
+      },
+      iters);
+}
+
+double Bench::time_allgather(std::size_t bytes_per, int iters) {
+  return time_collective(
+      [bytes_per](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        std::vector<char> send(bytes_per, static_cast<char>(t.rank));
+        std::vector<char> recv(
+            bytes_per * static_cast<std::size_t>(t.nranks()), 0);
+        co_await c.allgather(t, send.data(), recv.data(), bytes_per);
+      },
+      iters);
+}
+
+std::vector<std::size_t> size_sweep(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> v;
+  for (std::size_t s = lo; s <= hi; s *= 2) v.push_back(s);
+  return v;
+}
+
+std::vector<int> cpu_sweep() { return {16, 32, 64, 128, 256}; }
+
+void print_table(const std::string& title, const std::string& row_header,
+                 const std::vector<std::string>& row_labels,
+                 const std::vector<std::string>& col_labels,
+                 const std::vector<std::vector<double>>& cells,
+                 const std::string& unit) {
+  std::printf("\n== %s (%s) ==\n", title.c_str(), unit.c_str());
+  std::printf("%12s", row_header.c_str());
+  for (const auto& c : col_labels) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < row_labels.size(); ++r) {
+    std::printf("%12s", row_labels[r].c_str());
+    for (double v : cells[r]) {
+      std::printf(" %12s", util::fmt_us(v).c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace srm::bench

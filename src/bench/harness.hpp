@@ -1,0 +1,86 @@
+// Benchmark harness: builds simulated clusters with the paper's testbed
+// shape, adapts SRM and the two mini-MPI baselines to the common Collectives
+// interface, measures collective latency in virtual time (the average of
+// repeated back-to-back calls, as in the paper's 1000-call methodology), and
+// prints figure-shaped tables.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/iface.hpp"
+#include "core/communicator.hpp"
+#include "lapi/lapi.hpp"
+#include "machine/cluster.hpp"
+#include "mpi/comm.hpp"
+
+namespace srm::bench {
+
+/// Which implementation an experiment runs.
+enum class Impl { srm, mpi_ibm, mpi_mpich };
+
+const char* impl_name(Impl i);
+
+/// One self-contained experiment environment: a fresh simulated cluster
+/// (16-way nodes by default, like the paper's SP) plus one implementation.
+class Bench {
+ public:
+  Bench(Impl impl, int nodes, int tasks_per_node,
+        SrmConfig srm_cfg = {},
+        machine::MachineParams params = machine::MachineParams::ibm_sp());
+
+  machine::Cluster& cluster() { return *cluster_; }
+  coll::Collectives& coll() { return *coll_; }
+  Impl impl() const { return impl_; }
+
+  /// Average virtual-time latency (us) of `op` over `iters` back-to-back
+  /// calls, after `warmup` unmeasured calls. The reported value is the
+  /// slowest rank's elapsed time divided by the iteration count.
+  double time_collective(
+      const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
+          op,
+      int iters = 5, int warmup = 2);
+
+  // Canned operations.
+  double time_bcast(std::size_t bytes, int iters = 5);
+  double time_reduce(std::size_t count_doubles, int iters = 5);
+  double time_allreduce(std::size_t count_doubles, int iters = 5);
+  double time_barrier(int iters = 10);
+  double time_scatter(std::size_t bytes_per, int iters = 4);
+  double time_gather(std::size_t bytes_per, int iters = 4);
+  double time_allgather(std::size_t bytes_per, int iters = 4);
+
+ private:
+  Impl impl_;
+  std::unique_ptr<machine::Cluster> cluster_;
+  std::unique_ptr<lapi::Fabric> fabric_;
+  std::unique_ptr<Communicator> srm_;
+  std::unique_ptr<minimpi::World> mpi_;
+  std::unique_ptr<coll::Collectives> coll_;
+};
+
+/// Iteration count that keeps large-message sweeps affordable in real time;
+/// the simulator is deterministic, so few iterations lose no precision.
+inline int iters_for(std::size_t bytes) {
+  if (bytes <= 64 * 1024) return 4;
+  if (bytes <= (1u << 20)) return 2;
+  return 1;
+}
+
+/// The paper's message-size sweep: 8 B ... 8 MB, powers of two.
+std::vector<std::size_t> size_sweep(std::size_t lo = 8,
+                                    std::size_t hi = 8u << 20);
+
+/// The paper's processor configurations at 16 tasks/node.
+std::vector<int> cpu_sweep();  // {16, 32, 64, 128, 256}
+
+/// Print a series table: rows = sizes, one column per (labelled) series.
+void print_table(const std::string& title, const std::string& row_header,
+                 const std::vector<std::string>& row_labels,
+                 const std::vector<std::string>& col_labels,
+                 const std::vector<std::vector<double>>& cells,
+                 const std::string& unit);
+
+}  // namespace srm::bench

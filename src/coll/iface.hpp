@@ -1,0 +1,40 @@
+// Collectives: the abstract operation set shared by SRM and the mini-MPI
+// baselines, so benchmarks and examples can swap implementations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "coll/ops.hpp"
+#include "machine/cluster.hpp"
+#include "sim/task.hpp"
+
+namespace srm::coll {
+
+class Collectives {
+ public:
+  virtual ~Collectives() = default;
+
+  virtual sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                            int root) = 0;
+  virtual sim::CoTask reduce(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t count, Dtype d, RedOp op,
+                             int root) = 0;
+  virtual sim::CoTask allreduce(machine::TaskCtx& t, const void* send,
+                                void* recv, std::size_t count, Dtype d,
+                                RedOp op) = 0;
+  virtual sim::CoTask barrier(machine::TaskCtx& t) = 0;
+
+  // Extended operation set (equal counts). @p bytes_per is one rank's block.
+  virtual sim::CoTask scatter(machine::TaskCtx& t, const void* send,
+                              void* recv, std::size_t bytes_per,
+                              int root) = 0;
+  virtual sim::CoTask gather(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t bytes_per, int root) = 0;
+  virtual sim::CoTask allgather(machine::TaskCtx& t, const void* send,
+                                void* recv, std::size_t bytes_per) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace srm::coll

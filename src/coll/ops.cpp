@@ -1,0 +1,120 @@
+#include "coll/ops.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace srm::coll {
+
+const char* dtype_name(Dtype d) {
+  switch (d) {
+    case Dtype::f64: return "f64";
+    case Dtype::f32: return "f32";
+    case Dtype::i32: return "i32";
+    case Dtype::i64: return "i64";
+  }
+  return "?";
+}
+
+const char* op_name(RedOp op) {
+  switch (op) {
+    case RedOp::sum: return "sum";
+    case RedOp::prod: return "prod";
+    case RedOp::min: return "min";
+    case RedOp::max: return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void combine_out_typed(RedOp op, T* dst, const T* a, const T* b,
+                       std::size_t n) {
+  switch (op) {
+    case RedOp::sum:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+      break;
+    case RedOp::prod:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+      break;
+    case RedOp::min:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(a[i], b[i]);
+      break;
+    case RedOp::max:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = std::max(a[i], b[i]);
+      break;
+  }
+}
+
+template <typename T>
+void combine_typed(RedOp op, T* inout, const T* in, std::size_t n) {
+  switch (op) {
+    case RedOp::sum:
+      for (std::size_t i = 0; i < n; ++i) inout[i] += in[i];
+      break;
+    case RedOp::prod:
+      for (std::size_t i = 0; i < n; ++i) inout[i] *= in[i];
+      break;
+    case RedOp::min:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::min(inout[i], in[i]);
+      break;
+    case RedOp::max:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::max(inout[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+void combine(RedOp op, Dtype d, void* inout, const void* in,
+             std::size_t count) {
+  SRM_CHECK(inout != nullptr && in != nullptr);
+  switch (d) {
+    case Dtype::f64:
+      combine_typed(op, static_cast<double*>(inout),
+                    static_cast<const double*>(in), count);
+      break;
+    case Dtype::f32:
+      combine_typed(op, static_cast<float*>(inout),
+                    static_cast<const float*>(in), count);
+      break;
+    case Dtype::i32:
+      combine_typed(op, static_cast<std::int32_t*>(inout),
+                    static_cast<const std::int32_t*>(in), count);
+      break;
+    case Dtype::i64:
+      combine_typed(op, static_cast<std::int64_t*>(inout),
+                    static_cast<const std::int64_t*>(in), count);
+      break;
+  }
+}
+
+void combine_out(RedOp op, Dtype d, void* dst, const void* a, const void* b,
+                 std::size_t count) {
+  SRM_CHECK(dst != nullptr && a != nullptr && b != nullptr);
+  switch (d) {
+    case Dtype::f64:
+      combine_out_typed(op, static_cast<double*>(dst),
+                        static_cast<const double*>(a),
+                        static_cast<const double*>(b), count);
+      break;
+    case Dtype::f32:
+      combine_out_typed(op, static_cast<float*>(dst),
+                        static_cast<const float*>(a),
+                        static_cast<const float*>(b), count);
+      break;
+    case Dtype::i32:
+      combine_out_typed(op, static_cast<std::int32_t*>(dst),
+                        static_cast<const std::int32_t*>(a),
+                        static_cast<const std::int32_t*>(b), count);
+      break;
+    case Dtype::i64:
+      combine_out_typed(op, static_cast<std::int64_t*>(dst),
+                        static_cast<const std::int64_t*>(a),
+                        static_cast<const std::int64_t*>(b), count);
+      break;
+  }
+}
+
+}  // namespace srm::coll

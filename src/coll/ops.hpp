@@ -1,0 +1,40 @@
+// Reduction operators and datatypes for reduce/allreduce.
+//
+// The paper's experiments use MPI_SUM over double; the library supports the
+// usual commutative operator set over the common numeric types so the tests
+// can sweep them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace srm::coll {
+
+enum class Dtype { f64, f32, i32, i64 };
+enum class RedOp { sum, prod, min, max };
+
+constexpr std::size_t dtype_size(Dtype d) {
+  switch (d) {
+    case Dtype::f64: return 8;
+    case Dtype::f32: return 4;
+    case Dtype::i32: return 4;
+    case Dtype::i64: return 8;
+  }
+  return 0;
+}
+
+const char* dtype_name(Dtype d);
+const char* op_name(RedOp op);
+
+/// inout[i] = op(inout[i], in[i]) for i in [0, count).
+void combine(RedOp op, Dtype d, void* inout, const void* in,
+             std::size_t count);
+
+/// dst[i] = op(a[i], b[i]) — the fused form the SRM shared-memory reduce
+/// uses to write results straight to their destination (no staging copy,
+/// the paper's advantage over Sistare et al.). dst may alias a or b.
+void combine_out(RedOp op, Dtype d, void* dst, const void* a, const void* b,
+                 std::size_t count);
+
+}  // namespace srm::coll

@@ -1,0 +1,184 @@
+#include "coll/tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace srm::coll {
+
+const char* tree_kind_name(TreeKind k) {
+  switch (k) {
+    case TreeKind::binomial: return "binomial";
+    case TreeKind::binary: return "binary";
+    case TreeKind::fibonacci: return "fibonacci";
+    case TreeKind::flat: return "flat";
+  }
+  return "?";
+}
+
+int Tree::height() const {
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  int h = 0;
+  // parents always precede children in BFS order; compute by repeated sweeps
+  // from the root (trees are shallow, simple DFS is fine).
+  std::function<void(int, int)> dfs = [&](int v, int d) {
+    depth[static_cast<std::size_t>(v)] = d;
+    h = std::max(h, d);
+    for (int c : children[static_cast<std::size_t>(v)]) dfs(c, d + 1);
+  };
+  dfs(root, 0);
+  return h;
+}
+
+int Tree::subtree_size(int v) const {
+  int s = 1;
+  for (int c : children[static_cast<std::size_t>(v)]) s += subtree_size(c);
+  return s;
+}
+
+void Tree::validate() const {
+  SRM_CHECK(n >= 1);
+  SRM_CHECK(root >= 0 && root < n);
+  SRM_CHECK(static_cast<int>(parent.size()) == n);
+  SRM_CHECK(static_cast<int>(children.size()) == n);
+  SRM_CHECK(parent[static_cast<std::size_t>(root)] == -1);
+  int visited = 0;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::function<void(int)> dfs = [&](int v) {
+    SRM_CHECK_MSG(!seen[static_cast<std::size_t>(v)], "cycle at vertex " << v);
+    seen[static_cast<std::size_t>(v)] = 1;
+    ++visited;
+    for (int c : children[static_cast<std::size_t>(v)]) {
+      SRM_CHECK(c >= 0 && c < n);
+      SRM_CHECK_MSG(parent[static_cast<std::size_t>(c)] == v,
+                    "child " << c << " disagrees about parent " << v);
+      dfs(c);
+    }
+  };
+  dfs(root);
+  SRM_CHECK_MSG(visited == n, "tree is not spanning: " << visited << "/" << n);
+}
+
+namespace {
+
+Tree make_empty(int n, int root) {
+  SRM_CHECK(n >= 1);
+  SRM_CHECK(root >= 0 && root < n);
+  Tree t;
+  t.n = n;
+  t.root = root;
+  t.parent.assign(static_cast<std::size_t>(n), -1);
+  t.children.resize(static_cast<std::size_t>(n));
+  return t;
+}
+
+int to_rank(int vrank, int root, int n) { return (vrank + root) % n; }
+
+void link(Tree& t, int parent, int child) {
+  t.parent[static_cast<std::size_t>(child)] = parent;
+  t.children[static_cast<std::size_t>(parent)].push_back(child);
+}
+
+}  // namespace
+
+Tree binomial_tree(int n, int root) {
+  Tree t = make_empty(n, root);
+  // Distance power-of-two construction over virtual ranks: vrank v attaches
+  // to v minus its lowest set bit. Children are produced in ascending-mask
+  // (small subtree first) order.
+  for (int v = 0; v < n; ++v) {
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (v & mask) break;
+      int child = v | mask;
+      if (child < n) link(t, to_rank(v, root, n), to_rank(child, root, n));
+    }
+  }
+  return t;
+}
+
+Tree binary_tree(int n, int root) {
+  Tree t = make_empty(n, root);
+  // Complete binary tree over virtual ranks: children of v are 2v+1, 2v+2.
+  for (int v = 0; v < n; ++v) {
+    for (int c : {2 * v + 1, 2 * v + 2}) {
+      if (c < n) link(t, to_rank(v, root, n), to_rank(c, root, n));
+    }
+  }
+  return t;
+}
+
+Tree fibonacci_tree(int n, int root) {
+  Tree t = make_empty(n, root);
+  // Postal-model construction (Bar-Noy & Kipnis, lambda = 2): a vertex
+  // informed at step s can deliver its next message at step s+2 and every
+  // step thereafter; the root starts ready. Each step, every eligible sender
+  // adopts the next uninformed virtual rank, so the informed count follows
+  // the Fibonacci recurrence f(t) = f(t-1) + f(t-2): 1, 2, 3, 5, 8, 13, ...
+  int next = 1;
+  std::deque<std::pair<int, int>> informed;  // (vrank, step informed)
+  informed.emplace_back(0, -1);              // root was ready before step 0
+  int step = 0;
+  while (next < n) {
+    ++step;
+    std::size_t count = informed.size();
+    for (std::size_t i = 0; i < count && next < n; ++i) {
+      auto [v, at] = informed[i];
+      if (at > step - 2) continue;  // still in its recovery step
+      int child = next++;
+      link(t, to_rank(v, root, n), to_rank(child, root, n));
+      informed.emplace_back(child, step);
+    }
+  }
+  return t;
+}
+
+Tree flat_tree(int n, int root) {
+  Tree t = make_empty(n, root);
+  for (int v = 1; v < n; ++v) link(t, root, to_rank(v, root, n));
+  return t;
+}
+
+Tree build_tree(TreeKind kind, int n, int root) {
+  switch (kind) {
+    case TreeKind::binomial: return binomial_tree(n, root);
+    case TreeKind::binary: return binary_tree(n, root);
+    case TreeKind::fibonacci: return fibonacci_tree(n, root);
+    case TreeKind::flat: return flat_tree(n, root);
+  }
+  SRM_CHECK(false);
+  return {};
+}
+
+int Embedding::height(const machine::Topology& topo) const {
+  int h = 0;
+  for (int node = 0; node < topo.nodes(); ++node) {
+    // Depth of the node in the internode tree, plus its intranode height.
+    int d = 0;
+    for (int v = node; internode.parent[static_cast<std::size_t>(v)] != -1;
+         v = internode.parent[static_cast<std::size_t>(v)]) {
+      ++d;
+    }
+    h = std::max(h, d + intranode[static_cast<std::size_t>(node)].height());
+  }
+  return h;
+}
+
+Embedding embed(const machine::Topology& topo, int root,
+                TreeKind internode_kind, TreeKind intranode_kind) {
+  SRM_CHECK(root >= 0 && root < topo.nranks());
+  Embedding e;
+  e.root = root;
+  int root_node = topo.node_of(root);
+  e.internode = build_tree(internode_kind, topo.nodes(), root_node);
+  e.leader.resize(static_cast<std::size_t>(topo.nodes()));
+  e.intranode.reserve(static_cast<std::size_t>(topo.nodes()));
+  for (int node = 0; node < topo.nodes(); ++node) {
+    int leader = (node == root_node) ? root : topo.master_of(node);
+    e.leader[static_cast<std::size_t>(node)] = leader;
+    e.intranode.push_back(build_tree(intranode_kind, topo.tasks_per_node(),
+                                     topo.local_of(leader)));
+  }
+  return e;
+}
+
+}  // namespace srm::coll

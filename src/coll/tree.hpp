@@ -1,0 +1,66 @@
+// Communication-tree builders and the SMP cluster embedding (paper §2.1).
+//
+// Binomial ("distance power-of-two"), binary, Fibonacci, and flat trees over
+// an arbitrary vertex count and root. The Embedding assembles the paper's
+// Figure-1 structure: a binomial tree over *nodes* connecting one leader task
+// per node, plus an intra-node tree over the local tasks of each node. If
+// every node carries p tasks, the embedding adds no height:
+// log(n*p) >= log(n) + log(p).
+#pragma once
+
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "util/check.hpp"
+
+namespace srm::coll {
+
+enum class TreeKind { binomial, binary, fibonacci, flat };
+
+const char* tree_kind_name(TreeKind k);
+
+/// Rooted tree over vertices [0, n). Children are stored in the order a
+/// reduce expects arrivals (small subtrees first for binomial); a broadcast
+/// should iterate them in reverse (largest subtree first).
+struct Tree {
+  int n = 0;
+  int root = 0;
+  std::vector<int> parent;                 ///< parent[v]; -1 for the root
+  std::vector<std::vector<int>> children;  ///< children[v], construction order
+
+  /// Longest root-to-leaf edge count.
+  int height() const;
+  /// Size of the subtree rooted at v (v itself included).
+  int subtree_size(int v) const;
+  /// Structural validation: spanning, acyclic, consistent parent/children.
+  void validate() const;
+};
+
+/// Build a tree of @p kind over @p n vertices rooted at @p root.
+Tree build_tree(TreeKind kind, int n, int root);
+
+Tree binomial_tree(int n, int root);
+Tree binary_tree(int n, int root);
+Tree fibonacci_tree(int n, int root);
+Tree flat_tree(int n, int root);
+
+/// The SMP-aware embedding of collective trees into a cluster (Fig. 1).
+struct Embedding {
+  int root = 0;                ///< global root rank
+  Tree internode;              ///< over node ids, rooted at node_of(root)
+  std::vector<int> leader;     ///< per node: the network-facing rank
+  std::vector<Tree> intranode; ///< per node: tree over local ranks, rooted
+                               ///< at the leader's local rank
+
+  /// Total steps from root to the deepest task.
+  int height(const machine::Topology& topo) const;
+};
+
+/// Build the embedding: an @p internode_kind tree over nodes and an
+/// @p intranode_kind tree over each node's local ranks. The leader of the
+/// root's node is the root itself (arbitrary-root support without extra
+/// copies, §2.2); every other node is led by its master (local rank 0).
+Embedding embed(const machine::Topology& topo, int root,
+                TreeKind internode_kind, TreeKind intranode_kind);
+
+}  // namespace srm::coll

@@ -1,0 +1,63 @@
+// SRM barrier inter-node phase (§2.4): pairwise exchange with recursive
+// doubling between node masters, zero-byte puts into per-round counters.
+// The SMP halves (flat flags, master gathers then resets) live in smp.cpp.
+#include "core/communicator.hpp"
+
+namespace srm {
+
+sim::CoTask Communicator::internode_barrier(machine::TaskCtx& t) {
+  SRM_CHECK(t.is_master());
+  NodeState& ns = node_state(t);
+  lapi::Endpoint& my_ep = ep(t.rank);
+  int n = t.nnodes();
+  int v = t.node();
+
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  int rem = n - pof2;
+
+  auto master_ep = [&](int node) -> lapi::Endpoint& {
+    return ep(t.topo->master_of(node));
+  };
+  auto node_state_of = [&](int node) -> NodeState& {
+    return *nodes_[static_cast<std::size_t>(node)];
+  };
+
+  int newv;
+  if (v < 2 * rem) {
+    if (v % 2 == 0) {
+      co_await my_ep.put_signal(master_ep(v + 1),
+                                *node_state_of(v + 1).bar_fold_in);
+      newv = -1;
+    } else {
+      co_await my_ep.wait_cntr(*ns.bar_fold_in, 1);
+      newv = v / 2;
+    }
+  } else {
+    newv = v - rem;
+  }
+
+  if (newv != -1) {
+    int round = 0;
+    for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+      int newdst = newv ^ mask;
+      int dst_node = newdst < rem ? newdst * 2 + 1 : newdst + rem;
+      co_await my_ep.put_signal(
+          master_ep(dst_node),
+          *node_state_of(dst_node).bar_round[static_cast<std::size_t>(round)]);
+      co_await my_ep.wait_cntr(
+          *ns.bar_round[static_cast<std::size_t>(round)], 1);
+    }
+  }
+
+  if (v < 2 * rem) {
+    if (v % 2 == 0) {
+      co_await my_ep.wait_cntr(*ns.bar_fold_out, 1);
+    } else {
+      co_await my_ep.put_signal(master_ep(v - 1),
+                                *node_state_of(v - 1).bar_fold_out);
+    }
+  }
+}
+
+}  // namespace srm

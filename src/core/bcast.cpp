@@ -1,0 +1,243 @@
+// SRM broadcast (paper §2.4, Fig. 4).
+//
+// Small protocol (<= 64 KB): the parent leader puts each chunk into one of
+// the two shared-memory landing buffers the child keeps for that link,
+// guarded by per-buffer free-credit counters (LAPI_Waitcntr instead of
+// spinning, so the dispatcher polls). The SMP broadcast then reads straight
+// out of the landing buffer — no staging copy. Messages in the (8 KB, 32 KB]
+// band are split into 4 KB chunks and pipelined over the two buffers.
+//
+// Large protocol (> 64 KB): an address-exchange stage, then chunks are put
+// directly into the child leaders' *user* buffers — no intermediate buffer
+// at all — and each node publishes arrived chunks to its local tasks through
+// the Fig. 3 double buffers, overlapping the network with the SMP copies.
+#include <cstring>
+
+#include "core/communicator.hpp"
+#include "core/detail.hpp"
+
+namespace srm {
+
+namespace {
+/// Internode children in broadcast send order (largest subtree first).
+std::vector<int> bcast_children(const coll::Tree& tree, int node) {
+  auto kids = tree.children[static_cast<std::size_t>(node)];
+  return {kids.rbegin(), kids.rend()};
+}
+}  // namespace
+
+sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
+                                      std::size_t bytes,
+                                      const coll::Embedding& emb) {
+  NodeState& ns = node_state(t);
+  RankState& rs = rank_state(t);
+  int my_node = t.node();
+  int leader = emb.leader[static_cast<std::size_t>(my_node)];
+  int leader_local = t.topo->local_of(leader);
+  int parent = emb.internode.parent[static_cast<std::size_t>(my_node)];
+  auto pi = static_cast<std::size_t>(parent < 0 ? 0 : parent);
+  bool is_root_node = parent == -1;
+
+  // Chunk geometry (§2.4): pipeline band only.
+  std::size_t chunk = bytes;
+  if (bytes > cfg_.bcast_pipe_min && bytes <= cfg_.bcast_pipe_max) {
+    chunk = cfg_.bcast_pipe_chunk;
+  }
+  std::size_t nchunks = detail::chunk_count(bytes, chunk);
+
+  auto finish_bookkeeping = [&] {
+    if (!is_root_node) rs.bc_recv[pi] += nchunks;
+    for (int child : emb.internode.children[static_cast<std::size_t>(my_node)]) {
+      rs.bc_sent[static_cast<std::size_t>(child)] += nchunks;
+    }
+  };
+
+  // Single-buffer ablation: the landing pair degenerates to one slot too.
+  auto link_slot = [this](std::uint64_t seq) {
+    return cfg_.use_two_buffers ? static_cast<std::size_t>(seq % 2)
+                                : std::size_t{0};
+  };
+
+  if (t.rank != leader) {
+    // Pure consumer: copy each chunk out of the landing buffer (non-root
+    // nodes) or the SMP broadcast buffer (root node) when READY.
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      std::size_t off = c * chunk;
+      std::size_t len = std::min(chunk, bytes - off);
+      const std::byte* shared_src = nullptr;
+      if (!is_root_node) {
+        std::size_t lslot = link_slot(rs.bc_recv[pi] + c);
+        shared_src = ns.bc_land[pi][lslot].data();
+      }
+      co_await smp_bcast_chunk(t, leader_local, nullptr,
+                               static_cast<std::byte*>(buf) + off, len,
+                               shared_src);
+    }
+    finish_bookkeeping();
+    co_return;
+  }
+
+  auto kids = bcast_children(emb.internode, my_node);
+  lapi::Endpoint& my_ep = ep(t.rank);
+  // Puts sourced from the user buffer must have left the adapter before the
+  // operation returns (the caller may immediately reuse the buffer).
+  lapi::Counter org(*t.eng);
+  std::uint64_t org_pending = 0;
+
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    std::size_t off = c * chunk;
+    std::size_t len = std::min(chunk, bytes - off);
+
+    const std::byte* data;
+    std::size_t in_slot = 0;
+    if (is_root_node) {
+      data = static_cast<const std::byte*>(buf) + off;
+    } else {
+      // Wait for the parent's put to land in this link's buffer.
+      in_slot = link_slot(rs.bc_recv[pi] + c);
+      co_await my_ep.wait_cntr(*ns.bc_arrived[pi][in_slot], 1);
+      data = ns.bc_land[pi][in_slot].data();
+    }
+
+    // Send down the tree first (nonblocking puts), then broadcast locally —
+    // Fig. 4 steps 1 and 2.
+    for (int child : kids) {
+      auto ci = static_cast<std::size_t>(child);
+      NodeState& cs = *nodes_[ci];
+      int child_leader = emb.leader[ci];
+      std::size_t out_slot = link_slot(rs.bc_sent[ci] + c);
+      co_await my_ep.wait_cntr(*ns.bc_free[ci][out_slot], 1);
+      // Forwards from a landing buffer need no origin tracking: the buffer
+      // cannot be overwritten before this put leaves (the parent's next put
+      // is gated on a credit that follows it through the same NIC FIFO).
+      co_await my_ep.put(
+          ep(child_leader),
+          cs.bc_land[static_cast<std::size_t>(my_node)][out_slot].data(),
+          data, len,
+          cs.bc_arrived[static_cast<std::size_t>(my_node)][out_slot].get(),
+          is_root_node ? &org : nullptr);
+      if (is_root_node) ++org_pending;
+    }
+
+    if (is_root_node) {
+      co_await smp_bcast_chunk(t, leader_local, data,
+                               static_cast<std::byte*>(buf) + off, len,
+                               nullptr);
+    } else {
+      std::size_t flag_slot = cfg_.use_two_buffers ? rs.smp_bc_seq % 2 : 0;
+      co_await smp_bcast_chunk(t, leader_local, nullptr,
+                               static_cast<std::byte*>(buf) + off, len, data);
+      // The landing buffer is free once every local consumer cleared its
+      // READY flag; then tell the parent (Fig. 4 step 3: zero-byte put).
+      for (int l = 0; l < ns.nlocal; ++l) {
+        if (l == leader_local) continue;
+        co_await (*ns.bc_ready[flag_slot])[l].await_value(0);
+      }
+      int parent_leader = emb.leader[pi];
+      NodeState& ps = *nodes_[pi];
+      co_await my_ep.put_signal(
+          ep(parent_leader),
+          *ps.bc_free[static_cast<std::size_t>(my_node)][in_slot]);
+    }
+  }
+  if (org_pending > 0) {
+    co_await my_ep.wait_cntr(org, org_pending);
+  }
+  finish_bookkeeping();
+}
+
+sim::CoTask Communicator::bcast_large(machine::TaskCtx& t, void* buf,
+                                      std::size_t bytes,
+                                      const coll::Embedding& emb,
+                                      std::size_t chunk,
+                                      lapi::Counter* src_gate) {
+  NodeState& ns = node_state(t);
+  int my_node = t.node();
+  int leader = emb.leader[static_cast<std::size_t>(my_node)];
+  int leader_local = t.topo->local_of(leader);
+  int parent = emb.internode.parent[static_cast<std::size_t>(my_node)];
+  std::size_t nchunks = detail::chunk_count(bytes, chunk);
+
+  // The SMP publish stage moves at most one shared buffer per step; network
+  // chunks larger than that are published in sub-chunks.
+  auto smp_publish = [this, &t, leader_local, buf](
+                         std::size_t off, std::size_t len,
+                         bool is_leader) -> sim::CoTask {
+    std::size_t done = 0;
+    while (done < len) {
+      std::size_t sub = std::min(cfg_.smp_buf_bytes, len - done);
+      std::byte* p = static_cast<std::byte*>(buf) + off + done;
+      co_await smp_bcast_chunk(t, leader_local, is_leader ? p : nullptr, p,
+                               sub, nullptr);
+      done += sub;
+    }
+  };
+
+  if (t.rank != leader) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      std::size_t off = c * chunk;
+      std::size_t len = std::min(chunk, bytes - off);
+      co_await smp_publish(off, len, false);
+    }
+    co_return;
+  }
+
+  lapi::Endpoint& my_ep = ep(t.rank);
+  auto kids = bcast_children(emb.internode, my_node);
+  // Every put below is sourced from the user buffer (or this frame), so all
+  // of them must have left the adapter before the operation returns.
+  lapi::Counter org(*t.eng);
+  std::uint64_t org_pending = 0;
+
+  // Stage 1 (initialization): leaves announce their user-buffer address to
+  // the parent with a small put.
+  void* my_addr = buf;
+  if (parent != -1) {
+    int parent_leader = emb.leader[static_cast<std::size_t>(parent)];
+    NodeState& ps = *nodes_[static_cast<std::size_t>(parent)];
+    co_await my_ep.put(
+        ep(parent_leader), &ps.bc_addr[static_cast<std::size_t>(my_node)],
+        &my_addr, sizeof(void*),
+        ps.bc_addr_arrived[static_cast<std::size_t>(my_node)].get(), &org);
+    ++org_pending;
+  }
+
+  std::vector<std::byte*> child_addr(kids.size(), nullptr);
+
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    std::size_t off = c * chunk;
+    std::size_t len = std::min(chunk, bytes - off);
+    if (parent != -1) {
+      // Stage 2: wait for this chunk to land in our user buffer.
+      co_await my_ep.wait_cntr(
+          *ns.bc_large_arrived[static_cast<std::size_t>(parent)], 1);
+    } else if (src_gate != nullptr) {
+      // Pipelined allreduce: wait until the reduce phase finished this chunk.
+      co_await my_ep.wait_cntr(*src_gate, 1);
+    }
+    // Forward straight from the user buffer — no intermediate buffers.
+    for (std::size_t k = 0; k < kids.size(); ++k) {
+      int child = kids[k];
+      NodeState& cs = *nodes_[static_cast<std::size_t>(child)];
+      if (c == 0) {
+        co_await my_ep.wait_cntr(
+            *ns.bc_addr_arrived[static_cast<std::size_t>(child)], 1);
+        child_addr[k] = static_cast<std::byte*>(
+            ns.bc_addr[static_cast<std::size_t>(child)]);
+      }
+      co_await my_ep.put(
+          ep(emb.leader[static_cast<std::size_t>(child)]), child_addr[k] + off,
+          static_cast<const std::byte*>(buf) + off, len,
+          cs.bc_large_arrived[static_cast<std::size_t>(my_node)].get(), &org);
+      ++org_pending;
+    }
+    // Stages 3/4: SMP broadcast of the arrived chunk, pipelined through the
+    // two shared buffers while the network keeps streaming.
+    co_await smp_publish(off, len, true);
+  }
+  if (org_pending > 0) {
+    co_await my_ep.wait_cntr(org, org_pending);
+  }
+}
+
+}  // namespace srm

@@ -1,0 +1,228 @@
+#include "core/communicator.hpp"
+
+#include "util/align.hpp"
+
+namespace srm {
+
+Communicator::NodeState::NodeState(sim::Engine& eng,
+                                   const machine::MemoryParams& mp,
+                                   const machine::Topology& topo,
+                                   const SrmConfig& cfg, shm::Segment& seg,
+                                   const std::string& prefix)
+    : nlocal(topo.tasks_per_node()), nnodes(topo.nodes()) {
+  auto counter = [&eng] { return std::make_unique<lapi::Counter>(eng); };
+
+  // --- SMP broadcast buffers + READY flags (Fig. 3) ---
+  for (int b = 0; b < 2; ++b) {
+    bc_buf[static_cast<std::size_t>(b)] =
+        seg.buffer(prefix + "/bc_buf" + std::to_string(b), cfg.smp_buf_bytes);
+    bc_ready[static_cast<std::size_t>(b)] =
+        std::make_unique<shm::FlagArray>(eng, mp, nlocal);
+  }
+
+  // --- SMP reduce slots + chunk counters ---
+  for (int s = 0; s < 2; ++s) {
+    auto& slots = red_slot[static_cast<std::size_t>(s)];
+    slots.reserve(static_cast<std::size_t>(nlocal));
+    for (int l = 0; l < nlocal; ++l) {
+      slots.push_back(seg.buffer(
+          prefix + "/red_slot" + std::to_string(s) + "_" + std::to_string(l),
+          cfg.reduce_chunk));
+    }
+  }
+  red_published = std::make_unique<shm::FlagArray>(eng, mp, nlocal);
+  for (auto& fa : red_consumed) {
+    fa = std::make_unique<shm::FlagArray>(eng, mp, nlocal);
+  }
+
+  // --- SMP barrier flags ---
+  bar_flag = std::make_unique<shm::FlagArray>(eng, mp, nlocal);
+
+  // --- broadcast network state (per link, see header) ---
+  bc_land.resize(static_cast<std::size_t>(nnodes));
+  bc_arrived.resize(static_cast<std::size_t>(nnodes));
+  bc_free.resize(static_cast<std::size_t>(nnodes));
+  for (int p = 0; p < nnodes; ++p) {
+    for (int s = 0; s < 2; ++s) {
+      bc_land[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] =
+          seg.buffer(prefix + "/bc_land" + std::to_string(p) + "_" +
+                         std::to_string(s),
+                     cfg.smp_buf_bytes);
+      bc_arrived[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] =
+          counter();
+      auto& cr =
+          bc_free[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+      cr = counter();
+      cr->set(1);  // both remote landing buffers start free
+    }
+  }
+  bc_addr.assign(static_cast<std::size_t>(nnodes), nullptr);
+  bc_addr_arrived.resize(static_cast<std::size_t>(nnodes));
+  for (auto& c : bc_addr_arrived) c = counter();
+  bc_large_arrived.resize(static_cast<std::size_t>(nnodes));
+  for (auto& c : bc_large_arrived) c = counter();
+
+  // --- reduce network state ---
+  red_land.resize(static_cast<std::size_t>(nnodes));
+  red_arrived.resize(static_cast<std::size_t>(nnodes));
+  for (int c = 0; c < nnodes; ++c) {
+    for (int s = 0; s < 2; ++s) {
+      red_land[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)] =
+          seg.buffer(prefix + "/red_land" + std::to_string(c) + "_" +
+                         std::to_string(s),
+                     cfg.reduce_chunk);
+    }
+    red_arrived[static_cast<std::size_t>(c)] = counter();
+  }
+  red_free = counter();
+  red_free->set(2);  // two landing slots at the parent start free
+  for (int s = 0; s < 2; ++s) {
+    red_out[static_cast<std::size_t>(s)] = seg.buffer(
+        prefix + "/red_out" + std::to_string(s), cfg.reduce_chunk);
+  }
+  red_out_org = counter();
+
+  // --- allreduce recursive-doubling state ---
+  int rounds = nnodes > 1 ? util::log2_ceil(static_cast<unsigned>(nnodes)) : 0;
+  ar_buf.resize(static_cast<std::size_t>(rounds));
+  ar_arrived.resize(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    for (int p = 0; p < 2; ++p) {
+      ar_buf[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)] =
+          seg.buffer(prefix + "/ar_buf" + std::to_string(r) + "_" +
+                         std::to_string(p),
+                     cfg.allreduce_rd_max);
+    }
+    ar_arrived[static_cast<std::size_t>(r)] = counter();
+  }
+  for (int p = 0; p < 2; ++p) {
+    ar_fold_in[static_cast<std::size_t>(p)] = seg.buffer(
+        prefix + "/ar_fold_in" + std::to_string(p), cfg.allreduce_rd_max);
+    ar_fold_out[static_cast<std::size_t>(p)] = seg.buffer(
+        prefix + "/ar_fold_out" + std::to_string(p), cfg.allreduce_rd_max);
+  }
+  ar_fold_in_arr = counter();
+  ar_fold_out_arr = counter();
+
+  // --- barrier round counters ---
+  bar_round.resize(static_cast<std::size_t>(rounds));
+  for (auto& c : bar_round) c = counter();
+  bar_fold_in = counter();
+  bar_fold_out = counter();
+
+  // --- gather staging + counters ---
+  for (int s = 0; s < 2; ++s) {
+    ga_stage[static_cast<std::size_t>(s)] = seg.buffer(
+        prefix + "/ga_stage" + std::to_string(s), cfg.smp_buf_bytes);
+    ga_filled[static_cast<std::size_t>(s)] =
+        std::make_unique<shm::SharedFlag>(eng, mp);
+    ga_freed[static_cast<std::size_t>(s)] =
+        std::make_unique<shm::SharedFlag>(eng, mp);
+  }
+  ga_addr.assign(static_cast<std::size_t>(nnodes), nullptr);
+  ga_addr_arr.resize(static_cast<std::size_t>(nnodes));
+  for (auto& c : ga_addr_arr) c = counter();
+  ga_done.resize(static_cast<std::size_t>(nnodes));
+  for (auto& c : ga_done) c = counter();
+}
+
+Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
+                           SrmConfig cfg, std::string name)
+    : cluster_(&cluster),
+      fabric_(&fabric),
+      cfg_(cfg),
+      name_(std::move(name)) {
+  SRM_CHECK(cfg_.smp_buf_bytes >= cfg_.bcast_small_max);
+  SRM_CHECK(cfg_.reduce_chunk % 8 == 0);
+  SRM_CHECK(cfg_.bcast_pipe_chunk > 0 && cfg_.bcast_net_chunk > 0);
+  const auto& topo = cluster.topology();
+  nodes_.reserve(static_cast<std::size_t>(topo.nodes()));
+  for (int n = 0; n < topo.nodes(); ++n) {
+    auto& node = cluster.node(n);
+    nodes_.push_back(&node.seg.object<NodeState>(
+        "srm/" + name_, cluster.engine(), cluster.params().mem, topo, cfg_,
+        node.seg, "srm/" + name_));
+  }
+  ranks_.resize(static_cast<std::size_t>(topo.nranks()));
+  for (auto& r : ranks_) {
+    r.red_sent.assign(static_cast<std::size_t>(topo.nodes()), 0);
+    r.red_recvd.assign(static_cast<std::size_t>(topo.nodes()), 0);
+    r.bc_sent.assign(static_cast<std::size_t>(topo.nodes()), 0);
+    r.bc_recv.assign(static_cast<std::size_t>(topo.nodes()), 0);
+    r.smp_red_base.assign(static_cast<std::size_t>(topo.tasks_per_node()), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatch
+// ---------------------------------------------------------------------------
+
+sim::CoTask Communicator::broadcast(machine::TaskCtx& t, void* buf,
+                                    std::size_t bytes, int root) {
+  SRM_CHECK(root >= 0 && root < t.nranks());
+  SRM_CHECK(bytes == 0 || buf != nullptr);
+  rank_state(t).op_seq++;
+  if (bytes == 0) co_return;
+  coll::Embedding emb =
+      coll::embed(*t.topo, root, cfg_.internode_tree, cfg_.intranode_tree);
+  bool small = bytes <= cfg_.bcast_small_max;
+  bool leader = emb.leader[static_cast<std::size_t>(t.node())] == t.rank;
+  bool manage = cfg_.manage_interrupts && small && leader && t.nnodes() > 1;
+  if (manage) ep(t.rank).set_interrupts(false);
+  if (small) {
+    co_await bcast_small(t, buf, bytes, emb);
+  } else {
+    co_await bcast_large(t, buf, bytes, emb, cfg_.bcast_net_chunk, nullptr);
+  }
+  if (manage) ep(t.rank).set_interrupts(true);
+}
+
+sim::CoTask Communicator::reduce(machine::TaskCtx& t, const void* send,
+                                 void* recv, std::size_t count,
+                                 coll::Dtype d, coll::RedOp op, int root) {
+  SRM_CHECK(root >= 0 && root < t.nranks());
+  SRM_CHECK(send != recv);
+  rank_state(t).op_seq++;
+  if (count == 0) co_return;
+  // Interrupt management (§2.3): off during small-message collectives on the
+  // tasks that face the network.
+  bool small = count * coll::dtype_size(d) <= cfg_.allreduce_rd_max;
+  bool leader = t.node() == t.topo->node_of(root) ? t.rank == root
+                                                  : t.is_master();
+  bool manage = cfg_.manage_interrupts && small && leader && t.nnodes() > 1;
+  if (manage) ep(t.rank).set_interrupts(false);
+  co_await reduce_impl(t, send, recv, count, d, op, root, nullptr);
+  if (manage) ep(t.rank).set_interrupts(true);
+}
+
+sim::CoTask Communicator::allreduce(machine::TaskCtx& t, const void* send,
+                                    void* recv, std::size_t count,
+                                    coll::Dtype d, coll::RedOp op) {
+  SRM_CHECK(send != recv);
+  rank_state(t).op_seq++;
+  if (count == 0) co_return;
+  std::size_t bytes = count * coll::dtype_size(d);
+  if (bytes <= cfg_.allreduce_rd_max) {
+    bool leader = t.is_master();
+    bool manage = cfg_.manage_interrupts && leader && t.nnodes() > 1;
+    if (manage) ep(t.rank).set_interrupts(false);
+    co_await allreduce_rd(t, send, recv, count, d, op);
+    if (manage) ep(t.rank).set_interrupts(true);
+  } else {
+    co_await allreduce_pipelined(t, send, recv, count, d, op);
+  }
+}
+
+sim::CoTask Communicator::barrier(machine::TaskCtx& t) {
+  rank_state(t).op_seq++;
+  bool manage = cfg_.manage_interrupts && t.is_master() && t.nnodes() > 1;
+  if (manage) ep(t.rank).set_interrupts(false);
+  co_await smp_barrier_enter(t);
+  if (t.is_master()) {
+    if (t.nnodes() > 1) co_await internode_barrier(t);
+    smp_barrier_release(t);
+  }
+  if (manage) ep(t.rank).set_interrupts(true);
+}
+
+}  // namespace srm

@@ -1,0 +1,305 @@
+// srm::Communicator — the paper's contribution: collective operations built
+// directly on shared memory (intra-node) and one-sided RMA (inter-node).
+//
+// Public operations (all blocking, MPI-style semantics):
+//   broadcast, reduce, allreduce, barrier.
+//
+// Construction allocates, per SMP node, the shared structures of §2.2/§2.4:
+//  * the two broadcast buffers A/B with per-process READY flags (Fig. 3);
+//  * per-process reduce chunk slots with published/consumed counters (the
+//    pipelined form of Fig. 2);
+//  * per-process barrier flags (one cache line each);
+//  * and, for the node leader, the LAPI-side structures: data-arrival
+//    counters, per-child free-buffer credits, landing zones for the reduce
+//    pipeline, recursive-doubling exchange slots, and barrier round counters.
+//
+// Every operation embeds its communication tree with coll::embed (Fig. 1),
+// so at most one task per node (the "leader": the root on the root's node,
+// the master elsewhere) touches the network.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/ops.hpp"
+#include "coll/tree.hpp"
+#include "core/config.hpp"
+#include "lapi/lapi.hpp"
+#include "machine/cluster.hpp"
+#include "shm/flag.hpp"
+#include "sim/task.hpp"
+
+namespace srm {
+
+class Communicator {
+ public:
+  /// Collective constructor-equivalent: builds all node-shared state before
+  /// the simulation starts. @p name namespaces the shared segments so
+  /// multiple communicators coexist.
+  Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
+               SrmConfig cfg = {}, std::string name = "srm0");
+
+  /// Broadcast @p bytes from @p root's @p buf into everyone's @p buf.
+  sim::CoTask broadcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                        int root);
+
+  /// Reduce element-wise with @p op; the result lands in @p recv at @p root
+  /// (ignored elsewhere). @p send and @p recv must not alias.
+  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t count, coll::Dtype d, coll::RedOp op,
+                     int root);
+
+  /// Reduce + make the result available everywhere.
+  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t count, coll::Dtype d, coll::RedOp op);
+
+  /// Synchronize all tasks (§2.2/§2.4 barrier).
+  sim::CoTask barrier(machine::TaskCtx& t);
+
+  // ---- Extension beyond the paper's four operations ----
+  //
+  // The paper targets "a common set of collective operations"; scatter,
+  // gather, allgather, and reduce_scatter complete that set using the same
+  // two building blocks: RMA puts straight into user buffers between node
+  // leaders, and shared-memory slice distribution/assembly inside nodes.
+
+  /// Scatter @p count elements of size @p esize per rank from @p send at
+  /// @p root into everyone's @p recv. The root leader puts each node's block
+  /// into that node's landing buffers; local tasks copy out their slice.
+  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
+                      std::size_t count, std::size_t esize, int root);
+
+  /// Gather @p count elements per rank into @p recv at @p root (rank order).
+  /// The root announces its receive buffer; node leaders assemble their
+  /// node block in shared staging and put it straight into place.
+  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t count, std::size_t esize, int root);
+
+  /// Allgather: every rank ends with all blocks (gather to 0 + broadcast).
+  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t count, std::size_t esize);
+
+  /// Reduce-scatter with equal blocks: element-wise reduce, then scatter of
+  /// the @p count_per_rank-element blocks.
+  sim::CoTask reduce_scatter(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t count_per_rank,
+                             coll::Dtype d, coll::RedOp op);
+
+  const SrmConfig& config() const noexcept { return cfg_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  // ---- per-node shared state (lives in the node's shm segment) ----
+  struct NodeState {
+    NodeState(sim::Engine& eng, const machine::MemoryParams& mp,
+              const machine::Topology& topo, const SrmConfig& cfg,
+              shm::Segment& seg, const std::string& prefix);
+
+    int nlocal;
+    int nnodes;
+
+    // SMP broadcast (Fig. 3): two buffers + one READY flag per process each.
+    std::array<std::span<std::byte>, 2> bc_buf;
+    std::array<std::unique_ptr<shm::FlagArray>, 2> bc_ready;
+
+    // SMP reduce pipeline: per local task, two chunk slots plus monotonic
+    // publish counters. Consumption counters are per (local, slot): when the
+    // node leadership changes across operations (the root moves), chunks in
+    // *different* slots are consumed by *different* leaders that are not
+    // mutually ordered, so only a per-slot count tells a writer that the
+    // previous occupant of its slot is really gone.
+    std::array<std::vector<std::span<std::byte>>, 2> red_slot;  // [slot][local]
+    std::unique_ptr<shm::FlagArray> red_published;
+    std::array<std::unique_ptr<shm::FlagArray>, 2> red_consumed;  // [slot]
+
+    // SMP barrier: one flag per process (own cache line), reset by master.
+    std::unique_ptr<shm::FlagArray> bar_flag;
+
+    // ---- leader-side network state ----
+    //
+    // All inter-node state is per *link* (per potential parent or child
+    // node): with arbitrary roots, consecutive operations can have different
+    // trees, and two different parents' traffic must never alias one
+    // buffer or counter — operations at different tree positions are not
+    // mutually ordered. With a fixed tree only degree-of-master entries are
+    // ever touched, matching the paper's buffer-consumption argument; the
+    // full per-peer allocation is the price of arbitrary-root support
+    // (which the paper leaves as an open problem).
+    //
+    // Small-protocol broadcast: two landing buffers + arrival counters per
+    // parent node, and per-child free credits (start at 1: "buffer free").
+    std::vector<std::array<std::span<std::byte>, 2>> bc_land;  // [parent][slot]
+    std::vector<std::array<std::unique_ptr<lapi::Counter>, 2>> bc_arrived;
+    std::vector<std::array<std::unique_ptr<lapi::Counter>, 2>> bc_free;
+
+    // Large-protocol broadcast: the address-exchange cell + counter (per
+    // child), and per-parent chunk-arrival counters (data goes straight to
+    // the user buffer).
+    std::vector<void*> bc_addr;  // child-node -> announced user buffer
+    std::vector<std::unique_ptr<lapi::Counter>> bc_addr_arrived;
+    std::vector<std::unique_ptr<lapi::Counter>> bc_large_arrived;
+
+    // Reduce pipeline: per child node, two landing slots + arrival counter;
+    // one credit counter for sending to our own parent (starts at 2); two
+    // node-result slots guarded by the put origin counter.
+    std::vector<std::array<std::span<std::byte>, 2>> red_land;
+    std::vector<std::unique_ptr<lapi::Counter>> red_arrived;
+    std::unique_ptr<lapi::Counter> red_free;
+    std::array<std::span<std::byte>, 2> red_out;
+    std::unique_ptr<lapi::Counter> red_out_org;
+
+    // Allreduce recursive doubling: per round, two parity slots + arrival
+    // counter; plus the non-power-of-two fold slots.
+    std::vector<std::array<std::span<std::byte>, 2>> ar_buf;  // [round][parity]
+    std::vector<std::unique_ptr<lapi::Counter>> ar_arrived;
+    std::array<std::span<std::byte>, 2> ar_fold_in;
+    std::array<std::span<std::byte>, 2> ar_fold_out;
+    std::unique_ptr<lapi::Counter> ar_fold_in_arr;
+    std::unique_ptr<lapi::Counter> ar_fold_out_arr;
+
+    // Barrier: one counter per recursive-doubling round, plus fold counters.
+    std::vector<std::unique_ptr<lapi::Counter>> bar_round;
+    std::unique_ptr<lapi::Counter> bar_fold_in;
+    std::unique_ptr<lapi::Counter> bar_fold_out;
+
+    // Gather: two shared staging buffers for node-block assembly, with
+    // per-slot monotonic filled/freed counters; the root's announced receive
+    // address (one cell per announcing node, so announcements from
+    // different roots never alias); and the root-side per-node chunk
+    // arrival counters.
+    std::array<std::span<std::byte>, 2> ga_stage;
+    std::array<std::unique_ptr<shm::SharedFlag>, 2> ga_filled;
+    std::array<std::unique_ptr<shm::SharedFlag>, 2> ga_freed;
+    std::vector<void*> ga_addr;  // indexed by the root's node
+    std::vector<std::unique_ptr<lapi::Counter>> ga_addr_arr;
+    std::vector<std::unique_ptr<lapi::Counter>> ga_done;  // per sender node
+  };
+
+  // ---- per-rank protocol sequence numbers ----
+  //
+  // Buffer-slot parity must agree between the two sides of every handshake
+  // across operations whose trees (and hence leaders) differ. Each rank
+  // therefore tracks, privately and deterministically (every task sees every
+  // collective with identical arguments), the cumulative chunk counts that
+  // define each slot cycle.
+  struct RankState {
+    std::uint64_t smp_bc_seq = 0;   // SMP bcast chunks processed (A/B parity)
+    std::uint64_t op_seq = 0;       // collective ops issued (RD slot parity)
+    // Cumulative reduce chunks my node sent to / received from each peer
+    // node (inter-node landing-slot parity).
+    std::vector<std::uint64_t> red_sent;
+    std::vector<std::uint64_t> red_recvd;
+    // Same for small-protocol broadcast chunks (per-link landing parity).
+    std::vector<std::uint64_t> bc_sent;
+    std::vector<std::uint64_t> bc_recv;
+    // Cumulative gather staging chunks on this rank's node (slot parity).
+    std::uint64_t ga_seq = 0;
+    // Cumulative SMP-reduce chunks each local task has published (slot
+    // parity + published/consumed counter baselines).
+    std::vector<std::uint64_t> smp_red_base;
+  };
+
+  NodeState& node_state(const machine::TaskCtx& t) {
+    return *nodes_[static_cast<std::size_t>(t.node())];
+  }
+  RankState& rank_state(const machine::TaskCtx& t) {
+    return ranks_[static_cast<std::size_t>(t.rank)];
+  }
+  lapi::Endpoint& ep(int rank) { return fabric_->ep(rank); }
+
+  // ---- SMP primitives (core/smp.cpp) ----
+
+  /// Flat two-buffer SMP broadcast of one chunk (Fig. 3). Fill mode
+  /// (@p shared_src == nullptr): the leader copies @p src into the next
+  /// shared buffer and every other task copies out to its own @p dst.
+  /// Shared mode (@p shared_src set): the data already sits in shared memory
+  /// (a LAPI put landed it there) and *everyone* — leader included — copies
+  /// straight out of @p shared_src, with no staging copy. Advances the A/B
+  /// READY-flag parity either way.
+  sim::CoTask smp_bcast_chunk(machine::TaskCtx& t, int leader_local,
+                              const void* src, void* dst, std::size_t len,
+                              const std::byte* shared_src);
+
+  /// Tree-structured SMP broadcast chunk (ablation, §2.2: the paper found
+  /// the flat variant faster despite read contention).
+  sim::CoTask smp_bcast_chunk_tree(machine::TaskCtx& t, int leader_local,
+                                   const void* src, void* dst,
+                                   std::size_t len);
+
+  /// Non-leader side of the pipelined SMP reduce (Fig. 2, chunked): leaves
+  /// copy their chunks into their shared slots, interior tasks combine their
+  /// own data with their children's slots into their own slot. @p tree is
+  /// the intranode tree over local ranks.
+  sim::CoTask smp_reduce_participant(machine::TaskCtx& t,
+                                     const coll::Tree& tree, const void* send,
+                                     std::size_t count, coll::Dtype d,
+                                     coll::RedOp op);
+
+  /// Leader side of one SMP-reduce chunk: waits for the leader's children in
+  /// @p tree and combines its own data with theirs straight into @p dst
+  /// (no staging copy). @p c is the op-local chunk index.
+  sim::CoTask smp_reduce_chunk_leader(machine::TaskCtx& t,
+                                      const coll::Tree& tree,
+                                      const void* send, void* dst,
+                                      std::size_t c, std::size_t elem_off,
+                                      std::size_t elems, coll::Dtype d,
+                                      coll::RedOp op);
+
+  /// Bookkeeping every rank runs after a reduce-like op: advance the
+  /// published-count baselines and the inter-node landing parities.
+  void finish_reduce_bookkeeping(machine::TaskCtx& t,
+                                 const coll::Embedding& emb,
+                                 std::size_t nchunks);
+
+  /// One sliced SMP distribution chunk (scatter / root-node publishes):
+  /// the leader makes [chunk_off, chunk_off+len) of the node block available
+  /// (copying @p fill_src into the shared buffer unless @p shared_src
+  /// already holds it), and every task copies the intersection with its own
+  /// slice [my_lo, my_hi) to @p my_dst (which points at my_lo's data).
+  sim::CoTask smp_slice_chunk(machine::TaskCtx& t, int leader_local,
+                              const std::byte* fill_src,
+                              const std::byte* shared_src,
+                              std::size_t chunk_off, std::size_t len,
+                              std::size_t my_lo, std::size_t my_hi,
+                              std::byte* my_dst);
+
+  /// SMP barrier (§2.2): flat flags, master gathers then resets.
+  sim::CoTask smp_barrier(machine::TaskCtx& t);
+  /// First half only: master returns once all locals checked in.
+  sim::CoTask smp_barrier_enter(machine::TaskCtx& t);
+  /// Second half: master resets the flags, releasing the locals.
+  void smp_barrier_release(machine::TaskCtx& t);
+
+  // ---- protocol stages ----
+  sim::CoTask bcast_small(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                          const coll::Embedding& emb);
+  /// Large-message broadcast (Fig. 4 right): address exchange, then chunks
+  /// put directly into user buffers, pipelined down the tree, each chunk
+  /// published locally through the Fig. 3 buffers. When @p src_gate is set
+  /// (pipelined allreduce), the root leader consumes one count per chunk
+  /// before sending it — the reduce->broadcast coupling of Fig. 5.
+  sim::CoTask bcast_large(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                          const coll::Embedding& emb, std::size_t chunk,
+                          lapi::Counter* src_gate);
+  sim::CoTask reduce_impl(machine::TaskCtx& t, const void* send, void* recv,
+                          std::size_t count, coll::Dtype d, coll::RedOp op,
+                          int root, lapi::Counter* chunk_done);
+  sim::CoTask allreduce_rd(machine::TaskCtx& t, const void* send, void* recv,
+                           std::size_t count, coll::Dtype d, coll::RedOp op);
+  sim::CoTask allreduce_pipelined(machine::TaskCtx& t, const void* send,
+                                  void* recv, std::size_t count,
+                                  coll::Dtype d, coll::RedOp op);
+  sim::CoTask internode_barrier(machine::TaskCtx& t);
+
+  machine::Cluster* cluster_;
+  lapi::Fabric* fabric_;
+  SrmConfig cfg_;
+  std::string name_;
+  std::vector<NodeState*> nodes_;  // owned by each node's segment
+  std::vector<RankState> ranks_;
+};
+
+}  // namespace srm

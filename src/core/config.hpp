@@ -1,0 +1,55 @@
+// SrmConfig: every protocol switch point and tuning knob from the paper.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/tree.hpp"
+
+namespace srm {
+
+struct SrmConfig {
+  /// Size of each of the two shared-memory broadcast buffers A/B (Fig. 3).
+  /// Must hold the largest single-shot small-protocol message.
+  std::size_t smp_buf_bytes = 64 * 1024;
+
+  /// Broadcast protocol switch (§2.4): messages up to this size flow through
+  /// the shared buffers; larger ones use the zero-intermediate-copy protocol.
+  std::size_t bcast_small_max = 64 * 1024;
+
+  /// Within the small protocol, messages in (pipe_min, pipe_max] are split
+  /// into pipe_chunk pieces and pipelined over the two buffers (§2.4:
+  /// "messages larger than 8 KB and smaller than 32 KB are split into 4 KB
+  /// chunks").
+  std::size_t bcast_pipe_min = 8 * 1024;
+  std::size_t bcast_pipe_max = 32 * 1024;
+  std::size_t bcast_pipe_chunk = 4 * 1024;
+
+  /// Chunk size of the large-message broadcast / SMP publish pipeline.
+  std::size_t bcast_net_chunk = 64 * 1024;
+
+  /// Reduce pipeline chunk (intra-node slots and inter-node landing zones).
+  std::size_t reduce_chunk = 16 * 1024;
+
+  /// Allreduce: recursive doubling between node leaders up to this size;
+  /// pipelined reduce+broadcast beyond it (§2.4, Fig. 5).
+  std::size_t allreduce_rd_max = 16 * 1024;
+
+  /// Inter-node tree (paper: binomial performed best on the SP).
+  coll::TreeKind internode_tree = coll::TreeKind::binomial;
+  /// Intra-node reduce tree.
+  coll::TreeKind intranode_tree = coll::TreeKind::binomial;
+
+  /// Ablation: use a single shared buffer instead of the A/B pair
+  /// (disables the two-stage pipeline of Fig. 3).
+  bool use_two_buffers = true;
+
+  /// Ablation: tree-structured shared-memory broadcast instead of the flat
+  /// two-buffer algorithm the paper found fastest (§2.2).
+  bool smp_bcast_tree = false;
+
+  /// Disable interrupts on entry to small-message collectives and re-enable
+  /// on exit (§2.3). Turning this off leaves interrupts always enabled.
+  bool manage_interrupts = true;
+};
+
+}  // namespace srm

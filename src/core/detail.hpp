@@ -1,0 +1,34 @@
+// Internal helpers shared by the SRM protocol implementation files.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+
+namespace srm::detail {
+
+/// Number of chunks @p bytes splits into at @p chunk granularity (>= 1).
+inline std::size_t chunk_count(std::size_t bytes, std::size_t chunk) {
+  return bytes == 0 ? 1 : (bytes + chunk - 1) / chunk;
+}
+
+inline sim::CoTask joined_body(sim::CoTask body,
+                               std::shared_ptr<sim::Trigger> done) {
+  co_await body;
+  done->fire();
+}
+
+/// Spawn @p body as a concurrent activity of the current task and return a
+/// trigger that fires on completion. Used for the phase overlap of the
+/// pipelined allreduce (Fig. 5).
+inline std::shared_ptr<sim::Trigger> spawn_joined(sim::Engine& eng,
+                                                  sim::CoTask body) {
+  auto done = std::make_shared<sim::Trigger>(eng);
+  eng.spawn(joined_body(std::move(body), done));
+  return done;
+}
+
+}  // namespace srm::detail

@@ -1,0 +1,286 @@
+// SRM scatter / gather / allgather / reduce_scatter.
+//
+// These extend the paper's operation set using its two building blocks:
+//
+//  * scatter: the root puts each node's contiguous block (ranks are placed
+//    in blocks, so a node's data is contiguous in the root buffer) into that
+//    node's per-link landing buffers — the same credit-guarded pair the
+//    small broadcast uses — and the node distributes slices out of shared
+//    memory, each task copying only its own piece.
+//
+//  * gather: the root announces its receive buffer (address-exchange put,
+//    as in the large broadcast); every node assembles its block chunk-wise
+//    in two shared staging buffers (per-slot filled/freed counters), and the
+//    leader puts finished chunks straight into their final location in the
+//    root's buffer — no intermediate copies on the network path.
+//
+//  * allgather  = gather to rank 0 + broadcast (the composition benefits
+//    from both optimized halves);
+//  * reduce_scatter = reduce to rank 0 + scatter.
+#include <cstring>
+#include <deque>
+
+#include "core/communicator.hpp"
+#include "core/detail.hpp"
+
+namespace srm {
+
+sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
+                                  void* recv, std::size_t count,
+                                  std::size_t esize, int root) {
+  SRM_CHECK(root >= 0 && root < t.nranks());
+  rank_state(t).op_seq++;
+  if (count == 0) co_return;
+  SRM_CHECK(recv != nullptr);
+
+  NodeState& ns = node_state(t);
+  RankState& rs = rank_state(t);
+  int root_node = t.topo->node_of(root);
+  int my_node = t.node();
+  int leader_local =
+      my_node == root_node ? t.topo->local_of(root) : 0;
+  bool is_leader = t.local() == leader_local;
+
+  std::size_t block = count * esize;               // one rank's data
+  std::size_t node_block = block * static_cast<std::size_t>(t.nlocal());
+  std::size_t chunk = cfg_.smp_buf_bytes;
+  std::size_t nchunks = detail::chunk_count(node_block, chunk);
+  std::size_t my_lo = static_cast<std::size_t>(t.local()) * block;
+  std::size_t my_hi = my_lo + block;
+
+  auto link_slot = [this](std::uint64_t seq) {
+    return cfg_.use_two_buffers ? static_cast<std::size_t>(seq % 2)
+                                : std::size_t{0};
+  };
+
+  if (t.rank == root) {
+    lapi::Endpoint& my_ep = ep(t.rank);
+    lapi::Counter org(*t.eng);
+    std::uint64_t org_pending = 0;
+    const std::byte* sp = static_cast<const std::byte*>(send);
+    // Chunk-major across nodes so all links stream concurrently.
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      std::size_t off = c * chunk;
+      std::size_t len = std::min(chunk, node_block - off);
+      for (int nd = 0; nd < t.nnodes(); ++nd) {
+        if (nd == root_node) continue;
+        auto ni = static_cast<std::size_t>(nd);
+        NodeState& cs = *nodes_[ni];
+        std::size_t slot = link_slot(rs.bc_sent[ni] + c);
+        co_await my_ep.wait_cntr(*ns.bc_free[ni][slot], 1);
+        co_await my_ep.put(
+            ep(t.topo->master_of(nd)), cs.bc_land[static_cast<std::size_t>(
+                                                      root_node)][slot]
+                                           .data(),
+            sp + static_cast<std::size_t>(nd) * node_block + off, len,
+            cs.bc_arrived[static_cast<std::size_t>(root_node)][slot].get(),
+            &org);
+        ++org_pending;
+      }
+      // Distribute the root node's own block slice-wise.
+      co_await smp_slice_chunk(
+          t, leader_local,
+          sp + static_cast<std::size_t>(root_node) * node_block + off,
+          nullptr, off, len, my_lo, my_hi, static_cast<std::byte*>(recv));
+    }
+    if (org_pending > 0) co_await my_ep.wait_cntr(org, org_pending);
+  } else if (is_leader) {
+    lapi::Endpoint& my_ep = ep(t.rank);
+    auto ri = static_cast<std::size_t>(root_node);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      std::size_t off = c * chunk;
+      std::size_t len = std::min(chunk, node_block - off);
+      std::size_t slot = link_slot(rs.bc_recv[ri] + c);
+      std::size_t flag_slot = cfg_.use_two_buffers ? rs.smp_bc_seq % 2 : 0;
+      co_await my_ep.wait_cntr(*ns.bc_arrived[ri][slot], 1);
+      co_await smp_slice_chunk(t, leader_local, nullptr,
+                               ns.bc_land[ri][slot].data(), off, len, my_lo,
+                               my_hi, static_cast<std::byte*>(recv));
+      for (int l = 0; l < ns.nlocal; ++l) {
+        if (l == leader_local) continue;
+        co_await (*ns.bc_ready[flag_slot])[l].await_value(0);
+      }
+      co_await my_ep.put_signal(
+          ep(root), *nodes_[ri]->bc_free[static_cast<std::size_t>(my_node)]
+                                        [slot]);
+    }
+  } else {
+    auto ri = static_cast<std::size_t>(root_node);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      std::size_t off = c * chunk;
+      std::size_t len = std::min(chunk, node_block - off);
+      const std::byte* shared_src = nullptr;
+      if (my_node != root_node) {
+        shared_src = ns.bc_land[ri][link_slot(rs.bc_recv[ri] + c)].data();
+      }
+      co_await smp_slice_chunk(t, leader_local, nullptr, shared_src, off,
+                               len, my_lo, my_hi,
+                               static_cast<std::byte*>(recv));
+    }
+  }
+
+  // Per-link sequence bookkeeping (every rank, deterministically).
+  if (my_node == root_node) {
+    for (int nd = 0; nd < t.nnodes(); ++nd) {
+      if (nd == root_node) continue;
+      rs.bc_sent[static_cast<std::size_t>(nd)] += nchunks;
+    }
+  } else {
+    rs.bc_recv[static_cast<std::size_t>(root_node)] += nchunks;
+  }
+}
+
+sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
+                                 void* recv, std::size_t count,
+                                 std::size_t esize, int root) {
+  SRM_CHECK(root >= 0 && root < t.nranks());
+  rank_state(t).op_seq++;
+  if (count == 0) co_return;
+  SRM_CHECK(send != nullptr);
+
+  NodeState& ns = node_state(t);
+  RankState& rs = rank_state(t);
+  int root_node = t.topo->node_of(root);
+  int my_node = t.node();
+  int leader_local = my_node == root_node ? t.topo->local_of(root) : 0;
+  bool is_leader = t.local() == leader_local;
+
+  std::size_t block = count * esize;
+  std::size_t node_block = block * static_cast<std::size_t>(t.nlocal());
+  std::size_t chunk = cfg_.smp_buf_bytes;
+  std::size_t nchunks = detail::chunk_count(node_block, chunk);
+  std::size_t my_lo = static_cast<std::size_t>(t.local()) * block;
+  std::size_t my_hi = my_lo + block;
+  std::size_t node_base =
+      static_cast<std::size_t>(my_node) * node_block;  // in the root buffer
+
+  auto slot_of = [this](std::uint64_t a) {
+    return cfg_.use_two_buffers ? static_cast<std::size_t>(a % 2)
+                                : std::size_t{0};
+  };
+  int p = t.nlocal();
+
+  lapi::Endpoint& my_ep = ep(t.rank);
+
+  // Stage 0 (root): announce the receive buffer to every other leader.
+  if (t.rank == root) {
+    SRM_CHECK(recv != nullptr);
+    void* addr = recv;
+    lapi::Counter org(*t.eng);
+    std::uint64_t org_pending = 0;
+    for (int nd = 0; nd < t.nnodes(); ++nd) {
+      if (nd == root_node) continue;
+      NodeState& cs = *nodes_[static_cast<std::size_t>(nd)];
+      co_await my_ep.put(
+          ep(t.topo->master_of(nd)),
+          &cs.ga_addr[static_cast<std::size_t>(root_node)], &addr,
+          sizeof(void*),
+          cs.ga_addr_arr[static_cast<std::size_t>(root_node)].get(), &org);
+      ++org_pending;
+    }
+    if (org_pending > 0) co_await my_ep.wait_cntr(org, org_pending);
+  }
+
+  // Stage 1 (everyone): assemble the node block in the shared staging pair.
+  // All p locals bump the filled counter for every chunk (with or without a
+  // contribution), so the expected count per chunk is exactly p.
+  std::byte* root_dst = nullptr;  // leaders learn where chunks go
+  if (is_leader && my_node != root_node) {
+    co_await my_ep.wait_cntr(
+        *ns.ga_addr_arr[static_cast<std::size_t>(root_node)], 1);
+    root_dst =
+        static_cast<std::byte*>(ns.ga_addr[static_cast<std::size_t>(root_node)]);
+  }
+
+  lapi::Counter out_org(*t.eng);
+  std::deque<std::size_t> inflight_slots;  // staging slots with a put in air
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    std::size_t off = c * chunk;
+    std::size_t len = std::min(chunk, node_block - off);
+    std::uint64_t a = rs.ga_seq + c;  // lifetime chunk index on this node
+    std::size_t slot = slot_of(a);
+
+    // Writer side: wait until all previous occupants of this slot are gone.
+    co_await ns.ga_freed[slot]->await_at_least(
+        cfg_.use_two_buffers ? a / 2 : a);
+    std::size_t lo = std::max(my_lo, off);
+    std::size_t hi = std::min(my_hi, off + len);
+    if (lo < hi) {
+      co_await t.nd->mem.charge_copy(static_cast<double>(hi - lo));
+      std::memcpy(ns.ga_stage[slot].data() + (lo - off),
+                  static_cast<const std::byte*>(send) + (lo - my_lo),
+                  hi - lo);
+    }
+    ns.ga_filled[slot]->add(1);
+
+    if (!is_leader) continue;
+
+    // Leader side: wait for all p contributions of this chunk, then move it.
+    std::uint64_t prior =
+        (cfg_.use_two_buffers ? a / 2 : a) * static_cast<std::uint64_t>(p);
+    co_await ns.ga_filled[slot]->await_at_least(
+        prior + static_cast<std::uint64_t>(p));
+    if (my_node == root_node) {
+      // The root copies straight into its receive buffer.
+      co_await t.nd->mem.charge_copy(static_cast<double>(len));
+      std::memcpy(static_cast<std::byte*>(recv) + node_base + off,
+                  ns.ga_stage[slot].data(), len);
+      ns.ga_freed[slot]->add(1);
+    } else {
+      co_await my_ep.put(ep(root), root_dst + node_base + off,
+                         ns.ga_stage[slot].data(), len,
+                         nodes_[static_cast<std::size_t>(root_node)]
+                             ->ga_done[static_cast<std::size_t>(my_node)]
+                             .get(),
+                         &out_org);
+      inflight_slots.push_back(slot);
+      // Keep at most two chunks in flight; origin-counter bumps arrive in
+      // injection order, so the front of the queue is the slot that the
+      // oldest put has finished reading.
+      if (inflight_slots.size() >= 2) {
+        co_await my_ep.wait_cntr(out_org, 1);
+        ns.ga_freed[inflight_slots.front()]->add(1);
+        inflight_slots.pop_front();
+      }
+    }
+  }
+  while (!inflight_slots.empty()) {
+    co_await my_ep.wait_cntr(out_org, 1);
+    ns.ga_freed[inflight_slots.front()]->add(1);
+    inflight_slots.pop_front();
+  }
+
+  // Root: wait for every remote node's chunks to land.
+  if (t.rank == root) {
+    for (int nd = 0; nd < t.nnodes(); ++nd) {
+      if (nd == root_node) continue;
+      co_await my_ep.wait_cntr(
+          *ns.ga_done[static_cast<std::size_t>(nd)],
+          static_cast<std::uint64_t>(nchunks));
+    }
+  }
+
+  rs.ga_seq += nchunks;
+}
+
+sim::CoTask Communicator::allgather(machine::TaskCtx& t, const void* send,
+                                    void* recv, std::size_t count,
+                                    std::size_t esize) {
+  co_await gather(t, send, recv, count, esize, 0);
+  co_await broadcast(
+      t, recv, count * esize * static_cast<std::size_t>(t.nranks()), 0);
+}
+
+sim::CoTask Communicator::reduce_scatter(machine::TaskCtx& t,
+                                         const void* send, void* recv,
+                                         std::size_t count_per_rank,
+                                         coll::Dtype d, coll::RedOp op) {
+  std::size_t total = count_per_rank * static_cast<std::size_t>(t.nranks());
+  std::vector<std::byte> tmp;
+  if (t.rank == 0) tmp.resize(total * coll::dtype_size(d));
+  co_await reduce(t, send, t.rank == 0 ? tmp.data() : recv, total, d, op, 0);
+  co_await scatter(t, tmp.data(), recv, count_per_rank, coll::dtype_size(d),
+                   0);
+}
+
+}  // namespace srm

@@ -1,0 +1,162 @@
+#include "lapi/lapi.hpp"
+
+#include <cstring>
+
+namespace srm::lapi {
+
+Endpoint::Endpoint(machine::TaskCtx& ctx)
+    : ctx_(&ctx), lp_(&ctx.P->lapi), call_wq_(*ctx.eng) {}
+
+void Endpoint::on_arrival(std::function<void()> process) {
+  sim::Engine& eng = *ctx_->eng;
+  if (in_call_) {
+    eng.call_at(eng.now() + lp_->poll_dispatch, std::move(process));
+  } else if (interrupts_) {
+    ++interrupts_taken_;
+    eng.call_at(eng.now() + lp_->interrupt_cost, std::move(process));
+  } else {
+    pending_.push_back(std::move(process));
+  }
+}
+
+void Endpoint::drain_pending() {
+  sim::Engine& eng = *ctx_->eng;
+  sim::Time t = eng.now();
+  while (!pending_.empty()) {
+    t += lp_->poll_dispatch;
+    eng.call_at(t, std::move(pending_.front()));
+    pending_.pop_front();
+  }
+}
+
+void Endpoint::set_interrupts(bool enabled) {
+  interrupts_ = enabled;
+  if (enabled && !pending_.empty()) {
+    // Toggling the mode is itself a LAPI library call — a progress
+    // opportunity: everything queued while interrupts were off is handled
+    // by the dispatcher inline at polling cost, not via an interrupt.
+    sim::Engine& eng = *ctx_->eng;
+    sim::Time t = eng.now();
+    while (!pending_.empty()) {
+      t += lp_->poll_dispatch;
+      eng.call_at(t, std::move(pending_.front()));
+      pending_.pop_front();
+    }
+  }
+}
+
+sim::CoTask Endpoint::put(Endpoint& target, void* dst, const void* src,
+                          std::size_t bytes, Counter* tgt_cntr,
+                          Counter* org_cntr, Counter* cmpl_cntr) {
+  SRM_CHECK_MSG(ctx_->node() != target.ctx_->node(),
+                "LAPI put must cross nodes (use shared memory locally)");
+  co_await ctx_->delay(lp_->call_overhead + ctx_->P->net.o_send);
+
+  Endpoint* origin = this;
+  // LAPI semantics: the origin buffer is reusable once the message has left
+  // the adapter (org_cntr). Model that faithfully by snapshotting the
+  // payload at egress-complete time; the deposit at the target then reads
+  // the snapshot, so a (correctly synchronized) origin-side overwrite after
+  // the org bump cannot corrupt the data in flight — while an overwrite
+  // *before* the bump corrupts it exactly as real hardware would.
+  auto staging = std::make_shared<std::vector<std::byte>>();
+  auto process = [dst, bytes, tgt_cntr, cmpl_cntr, origin, &target, staging] {
+    if (bytes > 0) {
+      SRM_CHECK(dst != nullptr);
+      SRM_CHECK(staging->size() == bytes);
+      std::memcpy(dst, staging->data(), bytes);
+    }
+    if (tgt_cntr != nullptr) tgt_cntr->bump();
+    if (cmpl_cntr != nullptr) {
+      // Internal ack back to the origin: pure latency, then origin-side
+      // dispatcher visibility rules.
+      sim::Engine& eng = *origin->ctx_->eng;
+      eng.call_at(eng.now() + origin->ctx_->P->net.latency,
+                  [origin, cmpl_cntr] {
+                    origin->on_arrival([cmpl_cntr] { cmpl_cntr->bump(); });
+                  });
+    }
+  };
+
+  auto res = ctx_->cluster->network().inject(
+      ctx_->node(), target.ctx_->node(), static_cast<double>(bytes),
+      [&target, process = std::move(process)]() mutable {
+        target.on_arrival(std::move(process));
+      });
+
+  if (bytes > 0) {
+    SRM_CHECK(src != nullptr);
+    const std::byte* sp = static_cast<const std::byte*>(src);
+    ctx_->eng->call_at(res.egress_end, [staging, sp, bytes] {
+      staging->assign(sp, sp + bytes);
+    });
+  }
+
+  if (org_cntr != nullptr) {
+    // Origin buffer reusable once fully injected; the origin dispatcher
+    // makes the bump visible under the usual rules.
+    ctx_->eng->call_at(res.egress_end, [this, org_cntr] {
+      on_arrival([org_cntr] { org_cntr->bump(); });
+    });
+  }
+}
+
+sim::CoTask Endpoint::am(Endpoint& target, std::size_t bytes,
+                         std::function<void()> handler) {
+  SRM_CHECK(ctx_->node() != target.ctx_->node());
+  co_await ctx_->delay(lp_->call_overhead + ctx_->P->net.o_send);
+  ctx_->cluster->network().inject(
+      ctx_->node(), target.ctx_->node(), static_cast<double>(bytes),
+      [&target, handler = std::move(handler)]() mutable {
+        target.on_arrival(std::move(handler));
+      });
+}
+
+sim::CoTask Endpoint::get(Endpoint& target, void* dst, const void* src,
+                          std::size_t bytes) {
+  Counter done(*ctx_->eng);
+  Endpoint* origin = this;
+  machine::Cluster* cluster = ctx_->cluster;
+  int tgt_node = target.ctx_->node();
+  int org_node = ctx_->node();
+  co_await am(target, 16, [=, &done] {
+    // Runs at the target: stream the data back.
+    cluster->network().inject(tgt_node, org_node, static_cast<double>(bytes),
+                              [=, &done] {
+                                origin->on_arrival([=, &done] {
+                                  if (bytes > 0) std::memcpy(dst, src, bytes);
+                                  done.bump();
+                                });
+                              });
+  });
+  co_await wait_cntr(done, 1);
+}
+
+sim::CoTask Endpoint::wait_cntr(Counter& c, std::uint64_t value) {
+  co_await ctx_->delay(lp_->call_overhead);
+  ++in_call_;
+  drain_pending();
+  co_await c.wq_.wait_until([&c, value] { return c.value_ >= value; });
+  c.value_ -= value;
+  --in_call_;
+}
+
+sim::CoTask Endpoint::get_cntr(Counter& c, std::uint64_t& out) {
+  co_await ctx_->delay(lp_->call_overhead);
+  ++in_call_;
+  drain_pending();
+  // Give same-time scheduled arrivals a chance to land before reading.
+  co_await ctx_->delay(lp_->poll_dispatch);
+  out = c.value_;
+  --in_call_;
+}
+
+Fabric::Fabric(machine::Cluster& cluster) : cluster_(&cluster) {
+  int n = cluster.topology().nranks();
+  eps_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    eps_.push_back(std::make_unique<Endpoint>(cluster.ctx(r)));
+  }
+}
+
+}  // namespace srm::lapi

@@ -1,0 +1,146 @@
+// A LAPI-like one-sided communication layer (paper §2.3).
+//
+// Models the semantics SRM depends on:
+//  * nonblocking `put` with three counters — origin (source buffer reusable),
+//    target (data arrived at target), completion (origin learns the target
+//    deposit finished);
+//  * `wait_cntr` with real LAPI semantics: block until the counter reaches
+//    `value`, then atomically subtract `value` (this is what makes the SRM
+//    two-buffer flow control clean);
+//  * progress/interrupt management: an arrived message is processed by the
+//    target's dispatcher (a) immediately + poll cost if the target task is
+//    inside a LAPI call, (b) after the interrupt cost if interrupts are
+//    enabled, or (c) not until the target's next LAPI call if interrupts are
+//    disabled — the exact hazard the paper manages around the shared-memory
+//    phases;
+//  * active messages (header handler runs at the target at process time).
+//
+// Data deposit is performed by the dispatcher at process time, which matches
+// the SP "Colony" adapter (no autonomous RDMA engine; LAPI moves data in the
+// header handler).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machine/cluster.hpp"
+#include "sim/task.hpp"
+#include "sim/wait.hpp"
+
+namespace srm::lapi {
+
+class Endpoint;
+
+/// A LAPI counter: bumped by the dispatcher, waited on by the owning task.
+class Counter {
+ public:
+  explicit Counter(sim::Engine& eng) : wq_(eng) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  std::uint64_t value() const noexcept { return value_; }
+
+  /// Dispatcher-side bump (visibility rules already applied by Endpoint).
+  void bump(std::uint64_t delta = 1) {
+    value_ += delta;
+    wq_.notify();
+  }
+
+  /// LAPI_Setcntr.
+  void set(std::uint64_t v) {
+    value_ = v;
+    wq_.notify();
+  }
+
+ private:
+  friend class Endpoint;
+  std::uint64_t value_ = 0;
+  sim::WaitQueue wq_;
+};
+
+/// Per-task LAPI endpoint.
+class Endpoint {
+ public:
+  Endpoint(machine::TaskCtx& ctx);
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  int rank() const noexcept { return ctx_->rank; }
+
+  /// Nonblocking one-sided put of @p bytes from @p src (origin memory) to
+  /// @p dst (target memory). Any counter may be null.
+  ///  - @p tgt_cntr lives at the *target* and bumps when data is deposited;
+  ///  - @p org_cntr lives at the origin and bumps when @p src is reusable;
+  ///  - @p cmpl_cntr lives at the origin and bumps when the target deposit
+  ///    completed (internal ack).
+  /// Suspends only for the origin-side call + injection overhead.
+  sim::CoTask put(Endpoint& target, void* dst, const void* src,
+                  std::size_t bytes, Counter* tgt_cntr,
+                  Counter* org_cntr = nullptr, Counter* cmpl_cntr = nullptr);
+
+  /// Zero-byte put used purely to bump a remote counter (SRM flow control).
+  sim::CoTask put_signal(Endpoint& target, Counter& tgt_cntr) {
+    return put(target, nullptr, nullptr, 0, &tgt_cntr);
+  }
+
+  /// Active message: run @p handler at the target (dispatcher context) after
+  /// a @p bytes-sized message arrives and is processed.
+  sim::CoTask am(Endpoint& target, std::size_t bytes,
+                 std::function<void()> handler);
+
+  /// Blocking one-sided get (modelled as AM request + put back).
+  sim::CoTask get(Endpoint& target, void* dst, const void* src,
+                  std::size_t bytes);
+
+  /// LAPI_Waitcntr: block until @p c >= @p value, then subtract @p value.
+  /// While blocked the task polls, so arrivals are processed promptly.
+  sim::CoTask wait_cntr(Counter& c, std::uint64_t value);
+
+  /// Nonblocking probe (LAPI_Getcntr): drains pending arrivals first (it is
+  /// a LAPI call, hence a progress opportunity), then reads the counter.
+  sim::CoTask get_cntr(Counter& c, std::uint64_t& out);
+
+  /// Enable/disable interrupt-mode message reception (§2.3 "Management of
+  /// LAPI Interrupts"). Enabling schedules processing of anything pending.
+  void set_interrupts(bool enabled);
+  bool interrupts_enabled() const noexcept { return interrupts_; }
+
+  /// Number of arrivals processed via the interrupt path (for tests).
+  std::uint64_t interrupts_taken() const noexcept { return interrupts_taken_; }
+
+ private:
+  friend class Fabric;
+
+  // Called by the network delivery event at the *target* endpoint.
+  void on_arrival(std::function<void()> process);
+  // Run all queued arrivals serially, charging poll cost for each.
+  void drain_pending();
+
+  machine::TaskCtx* ctx_;
+  const machine::LapiParams* lp_;
+  // Depth, not bool: SRM's pipelined collectives overlap protocol phases on
+  // the master task (Fig. 5), so one task may be parked in two Waitcntr
+  // calls; the dispatcher polls as long as any of them is active.
+  int in_call_ = 0;
+  bool interrupts_ = true;
+  std::uint64_t interrupts_taken_ = 0;
+  std::deque<std::function<void()>> pending_;
+  sim::WaitQueue call_wq_;  // wakes pollers when new arrivals are processed
+};
+
+/// One endpoint per rank, owned together.
+class Fabric {
+ public:
+  explicit Fabric(machine::Cluster& cluster);
+  Endpoint& ep(int rank) { return *eps_.at(static_cast<std::size_t>(rank)); }
+  machine::Cluster& cluster() noexcept { return *cluster_; }
+
+ private:
+  machine::Cluster* cluster_;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+};
+
+}  // namespace srm::lapi

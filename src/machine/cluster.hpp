@@ -1,0 +1,92 @@
+// Cluster: the simulated SMP cluster and the per-task execution context.
+//
+// A Cluster owns the engine, the network, and one Node (memory system +
+// shared segment) per SMP node. Cluster::run spawns one coroutine per rank
+// and drives the simulation to completion; it may be called repeatedly (the
+// virtual clock keeps advancing, node shared segments persist — like a real
+// job running several collective phases).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machine/memory.hpp"
+#include "machine/network.hpp"
+#include "machine/params.hpp"
+#include "machine/topology.hpp"
+#include "shm/segment.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace srm::machine {
+
+/// One SMP node: a memory cost model plus a shared-memory segment.
+struct Node {
+  Node(int id_, sim::Engine& eng, const MemoryParams& p)
+      : id(id_), mem(eng, p) {}
+  int id;
+  MemorySystem mem;
+  shm::Segment seg;
+};
+
+struct ClusterConfig {
+  int nodes = 1;
+  int tasks_per_node = 1;
+  MachineParams params = MachineParams::ibm_sp();
+};
+
+class Cluster;
+
+/// Per-rank execution context handed to every task program.
+struct TaskCtx {
+  int rank = 0;
+  Cluster* cluster = nullptr;
+  sim::Engine* eng = nullptr;
+  const MachineParams* P = nullptr;
+  Node* nd = nullptr;
+  const Topology* topo = nullptr;
+
+  int nranks() const { return topo->nranks(); }
+  int node() const { return topo->node_of(rank); }
+  int local() const { return topo->local_of(rank); }
+  int nlocal() const { return topo->tasks_per_node(); }
+  int nnodes() const { return topo->nodes(); }
+  bool is_master() const { return topo->is_master(rank); }
+
+  /// Suspend for @p d of virtual time (pure CPU cost).
+  sim::Engine::SleepAwaiter delay(sim::Duration d) const {
+    return eng->sleep(d);
+  }
+
+  /// Charged memcpy: costs copy time on this node's memory system, then
+  /// moves the real bytes. Buffers may overlap only as std::memmove allows.
+  sim::CoTask copy(void* dst, const void* src, std::size_t bytes) const;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  using Program = std::function<sim::CoTask(TaskCtx&)>;
+
+  /// Spawn @p program once per rank and run the simulation to completion.
+  void run(const Program& program);
+
+  sim::Engine& engine() noexcept { return eng_; }
+  Network& network() noexcept { return net_; }
+  const Topology& topology() const noexcept { return topo_; }
+  const MachineParams& params() const noexcept { return cfg_.params; }
+  Node& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  TaskCtx& ctx(int rank) { return ctxs_.at(static_cast<std::size_t>(rank)); }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Engine eng_;
+  Topology topo_;
+  Network net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<TaskCtx> ctxs_;
+};
+
+}  // namespace srm::machine

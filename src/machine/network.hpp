@@ -1,0 +1,75 @@
+// Network: LogGP-style single-switch fabric between node NICs.
+//
+// A message from node s to node d is charged:
+//   egress_start = max(now, egress_free[s])
+//   egress_end   = egress_start + gap + bytes*G     (NIC serialization, FIFO)
+//   head arrival = egress_start + gap + L
+//   ingress_start= max(head arrival, ingress_free[d])
+//   delivery     = ingress_start + bytes*G          (receiver-side FIFO)
+// so an uncontended message costs gap + L + bytes*G after injection, and
+// both endpoints serialize concurrent traffic. The caller's o_send overhead
+// is charged by the protocol layers, not here.
+//
+// The `deliver` closure runs at delivery time; protocol layers capture the
+// destination object and perform the real data movement inside it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace srm::machine {
+
+class Network {
+ public:
+  Network(sim::Engine& eng, const NetworkParams& p, int nnodes)
+      : eng_(&eng),
+        p_(p),
+        egress_free_(static_cast<std::size_t>(nnodes), 0),
+        ingress_free_(static_cast<std::size_t>(nnodes), 0) {}
+
+  struct InjectResult {
+    sim::Time egress_end;  ///< origin buffer fully injected (reusable)
+    sim::Time delivery;    ///< payload deposited at the destination NIC
+  };
+
+  /// Inject a message; @p deliver runs at the modelled delivery time.
+  InjectResult inject(int src_node, int dst_node, double bytes,
+                      std::function<void()> deliver) {
+    SRM_CHECK_MSG(src_node != dst_node,
+                  "intra-node traffic must not use the network");
+    auto& ef = egress_free_.at(static_cast<std::size_t>(src_node));
+    auto& inf = ingress_free_.at(static_cast<std::size_t>(dst_node));
+    sim::Time now = eng_->now();
+    sim::Duration ser = sim::duration_for(bytes, p_.bytes_per_sec);
+    sim::Time egress_start = std::max(now, ef);
+    ef = egress_start + p_.gap + ser;
+    sim::Time head = egress_start + p_.gap + p_.latency;
+    sim::Time ingress_start = std::max(head, inf);
+    sim::Time delivery = ingress_start + ser;
+    inf = delivery;
+    ++messages_;
+    bytes_ += bytes;
+    eng_->call_at(delivery, std::move(deliver));
+    return InjectResult{ef, delivery};
+  }
+
+  std::uint64_t messages() const noexcept { return messages_; }
+  double bytes() const noexcept { return bytes_; }
+  const NetworkParams& params() const noexcept { return p_; }
+
+ private:
+  sim::Engine* eng_;
+  NetworkParams p_;
+  std::vector<sim::Time> egress_free_;
+  std::vector<sim::Time> ingress_free_;
+  std::uint64_t messages_ = 0;
+  double bytes_ = 0;
+};
+
+}  // namespace srm::machine

@@ -1,0 +1,131 @@
+// MachineParams: every cost-model constant in one place.
+//
+// The default profile is calibrated to the paper's testbed — an IBM SP with
+// 16-way POWER3 "NightHawk II" SMP nodes and the "Colony" switch (ca. 2002):
+// ~350 MB/s link bandwidth, ~18-20 us end-to-end MPI latency, ~500 MB/s
+// per-CPU memcpy, a crossbar memory system that tolerates concurrent readers.
+// Absolute numbers are approximations; the reproduction targets the *shape*
+// of the paper's figures, and every knob here is sweepable by the ablation
+// benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace srm::machine {
+
+/// Per-node memory system costs.
+struct MemoryParams {
+  /// Peak single-stream memcpy bandwidth (read+write combined), bytes/s.
+  double copy_bw_per_cpu = 550e6;
+  /// Aggregate node memory bandwidth shared by all concurrent streams.
+  double bus_bw_total = 4.0e9;
+  /// Fixed software cost to initiate a copy (call + loop setup).
+  sim::Duration copy_startup = sim::ns(200);
+  /// Effective single-stream rate of a reduction combine (2 reads + 1 write
+  /// + FP adds), bytes of operand processed per second.
+  double reduce_bw_per_cpu = 400e6;
+  /// Latency for a store to a shared flag to become visible to a spinning
+  /// reader on another CPU (cache-line transfer).
+  sim::Duration flag_propagation = sim::ns(250);
+  /// Cost of one poll of a shared flag / counter by a reader.
+  sim::Duration flag_poll = sim::ns(60);
+};
+
+/// LogGP-style network (one "Colony"-class switch, single-hop latency).
+struct NetworkParams {
+  /// CPU overhead on the origin side to initiate a message (o_send).
+  sim::Duration o_send = sim::us(2) + sim::ns(500);
+  /// Per-message gap at the NIC (g): serialization of headers/DMA setup.
+  sim::Duration gap = sim::us(1) + sim::ns(500);
+  /// Per-byte time on the link (G). 1/350 MB/s = ~2.86 ns/B.
+  double bytes_per_sec = 350e6;
+  /// Wire + switch latency (L), first byte injected -> first byte delivered.
+  sim::Duration latency = sim::us(8) + sim::ns(500);
+};
+
+/// LAPI software layer costs (paper §2.3: interrupt vs. polling tradeoff).
+struct LapiParams {
+  /// Fixed cost of any LAPI library call (put/get/waitcntr entry).
+  sim::Duration call_overhead = sim::ns(800);
+  /// Dispatcher cost to process one arrived message while polling.
+  sim::Duration poll_dispatch = sim::ns(500);
+  /// Cost charged to the target CPU when an arrival triggers an interrupt
+  /// (AIX interrupt + dispatcher). Dominates small-message delivery when the
+  /// target is not inside a LAPI call.
+  sim::Duration interrupt_cost = sim::us(20);
+};
+
+/// Mini-MPI point-to-point costs, per implementation profile (§2.3).
+struct MpiParams {
+  /// Per-call library overhead (MPI_Send/Recv entry, argument checking).
+  sim::Duration call_overhead = sim::us(1);
+  /// Tag-matching cost per message examined in the queues.
+  sim::Duration match_cost = sim::ns(600);
+  /// Extra per-message software cost on each side of an inter-node transfer
+  /// (the MPI -> MPL -> MPCI layering on the SP; absent from raw LAPI).
+  sim::Duration layer_overhead = sim::us(1) + sim::ns(500);
+  /// Allreduce algorithm switch: recursive doubling up to this size,
+  /// reduce+broadcast beyond (0 = always reduce+broadcast, MPICH-1 era).
+  std::size_t allreduce_rd_max = 16 * 1024;
+  /// Shared-memory channel: chunk size for the 2-copy pipelined intra-node
+  /// path, and number of in-flight chunk slots per pair.
+  std::size_t shm_chunk = 16 * 1024;
+  int shm_slots = 2;
+  /// Per-chunk flag/bookkeeping overhead on the shm channel.
+  sim::Duration shm_per_chunk = sim::ns(400);
+  /// Eager->Rendezvous switch point as a function of the task count.
+  /// IBM MPI shrinks the eager limit as P grows to bound the P-1 eager
+  /// buffers per task (the paper calls this out as a structural handicap).
+  bool eager_scales_with_tasks = true;
+  std::size_t eager_limit_base = 4096;   // used when scaling disabled
+  /// Extra control-message round trip cost marker for rendezvous is implicit
+  /// (RTS/CTS are real messages in the model).
+  sim::Duration rndv_post_cost = sim::ns(700);
+};
+
+struct MachineParams {
+  MemoryParams mem;
+  NetworkParams net;
+  LapiParams lapi;
+  MpiParams mpi_ibm;
+  MpiParams mpi_mpich;
+
+  /// Eager limit for a given profile and task count.
+  static std::size_t eager_limit(const MpiParams& p, int ntasks) {
+    if (!p.eager_scales_with_tasks) return p.eager_limit_base;
+    if (ntasks <= 16) return 4096;
+    if (ntasks <= 32) return 2048;
+    if (ntasks <= 64) return 1024;
+    if (ntasks <= 128) return 512;
+    return 256;
+  }
+
+  /// Default profile: IBM SP, 16-way NightHawk II nodes, Colony switch.
+  static MachineParams ibm_sp();
+};
+
+inline MachineParams MachineParams::ibm_sp() {
+  MachineParams p;
+  // IBM MPI: tuned vendor library — lower software overheads, adaptive
+  // eager limit. MPICH (over MPL over MPCI): one more software layer —
+  // higher per-call and per-match costs, fixed eager limit.
+  p.mpi_ibm.call_overhead = sim::us(1) + sim::ns(500);
+  p.mpi_ibm.match_cost = sim::ns(1000);
+  p.mpi_ibm.layer_overhead = sim::us(1) + sim::ns(500);
+  p.mpi_ibm.eager_scales_with_tasks = true;
+  p.mpi_ibm.allreduce_rd_max = 16 * 1024;
+
+  p.mpi_mpich.call_overhead = sim::us(2) + sim::ns(500);
+  p.mpi_mpich.match_cost = sim::ns(1600);
+  p.mpi_mpich.layer_overhead = sim::us(2) + sim::ns(500);
+  p.mpi_mpich.shm_per_chunk = sim::ns(700);
+  p.mpi_mpich.eager_scales_with_tasks = false;
+  p.mpi_mpich.eager_limit_base = 4096;
+  p.mpi_mpich.allreduce_rd_max = 0;  // reduce+broadcast at every size
+  return p;
+}
+
+}  // namespace srm::machine

@@ -1,0 +1,50 @@
+// Topology: rank <-> (node, local-rank) mapping for an SMP cluster.
+//
+// Ranks are placed in blocks, as on the paper's IBM SP runs: ranks
+// [0, p) on node 0, [p, 2p) on node 1, and so on. The task with local rank 0
+// on each node is that node's "master" — the only task that communicates
+// across the network in SRM (§2.3).
+#pragma once
+
+#include "util/check.hpp"
+
+namespace srm::machine {
+
+class Topology {
+ public:
+  Topology(int nodes, int tasks_per_node)
+      : nodes_(nodes), per_node_(tasks_per_node) {
+    SRM_CHECK(nodes >= 1);
+    SRM_CHECK(tasks_per_node >= 1);
+  }
+
+  int nodes() const noexcept { return nodes_; }
+  int tasks_per_node() const noexcept { return per_node_; }
+  int nranks() const noexcept { return nodes_ * per_node_; }
+
+  int node_of(int rank) const {
+    SRM_CHECK(rank >= 0 && rank < nranks());
+    return rank / per_node_;
+  }
+  int local_of(int rank) const {
+    SRM_CHECK(rank >= 0 && rank < nranks());
+    return rank % per_node_;
+  }
+  int rank_of(int node, int local) const {
+    SRM_CHECK(node >= 0 && node < nodes_);
+    SRM_CHECK(local >= 0 && local < per_node_);
+    return node * per_node_ + local;
+  }
+  /// The master (network-facing) rank of a node.
+  int master_of(int node) const { return rank_of(node, 0); }
+  bool is_master(int rank) const { return local_of(rank) == 0; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  bool operator==(const Topology&) const = default;
+
+ private:
+  int nodes_;
+  int per_node_;
+};
+
+}  // namespace srm::machine

@@ -1,0 +1,57 @@
+// Analytical performance model of the SRM collectives.
+//
+// The paper's stated future work (§5): "development of an analytical
+// performance model of the SRM collectives to better understand, model, and
+// evaluate effectiveness of this technique under different assumptions and
+// parameter values such as the SMP node size, intra-SMP memory bandwidth,
+// and performance of inter-node communication. That model also should be
+// helpful in tuning the pipeline parameters."
+//
+// The model composes closed-form terms for the three cost domains:
+//   * network hops (LogGP-style: overheads + gap + latency + serialization),
+//   * shared-memory stages (fill + contended fan-out copies + flag costs),
+//   * operator execution (per-byte combine rates),
+// and pipeline laws (latency of the first chunk + bottleneck period for the
+// rest). It intentionally ignores second-order effects — interrupt flushes,
+// credit-return jitter, partial-chunk tails — and the validation suite pins
+// its accuracy envelope against the discrete-event simulation (typically
+// within ~25-35%, exactly the fidelity needed for tuning switch points).
+//
+// All returns are in microseconds of predicted operation latency.
+#pragma once
+
+#include "core/config.hpp"
+#include "machine/params.hpp"
+#include "machine/topology.hpp"
+
+namespace srm::model {
+
+struct Inputs {
+  machine::MachineParams params;
+  SrmConfig cfg;
+  int nodes = 1;
+  int tasks_per_node = 1;
+};
+
+/// One inter-node put of @p bytes, issue to consumable-at-blocked-target.
+double hop_us(const Inputs& in, std::size_t bytes);
+
+/// One shared-memory broadcast step of @p bytes to the node's local tasks.
+double smp_bcast_us(const Inputs& in, std::size_t bytes, bool landed_in_shm);
+
+/// Shared-memory reduce of @p bytes per task through the binomial tree.
+double smp_reduce_us(const Inputs& in, std::size_t bytes);
+
+/// Predicted SRM broadcast latency.
+double bcast_us(const Inputs& in, std::size_t bytes);
+
+/// Predicted SRM reduce latency (sum over doubles).
+double reduce_us(const Inputs& in, std::size_t bytes);
+
+/// Predicted SRM allreduce latency (sum over doubles).
+double allreduce_us(const Inputs& in, std::size_t bytes);
+
+/// Predicted SRM barrier latency.
+double barrier_us(const Inputs& in);
+
+}  // namespace srm::model

@@ -1,0 +1,85 @@
+// Segment: the per-node shared-memory arena.
+//
+// Models a System-V/POSIX shared segment: every task on a node that asks for
+// the same name gets the same storage (create-or-attach). Raw buffers are
+// zero-initialized and cache-line aligned; "model objects" (flags, counters)
+// that carry simulator state are shared the same way.
+//
+// All the bytes are real — SRM protocols memcpy through these buffers, so
+// data-correctness tests validate the actual protocol data flow, not just
+// its timing.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/align.hpp"
+#include "util/check.hpp"
+
+namespace srm::shm {
+
+class Segment {
+ public:
+  Segment() = default;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  /// Create-or-attach a zeroed byte buffer of (at least) @p bytes.
+  /// All callers passing the same name must pass the same size.
+  std::span<std::byte> buffer(const std::string& name, std::size_t bytes) {
+    auto it = buffers_.find(name);
+    if (it == buffers_.end()) {
+      std::size_t padded = util::align_up(std::max<std::size_t>(bytes, 1),
+                                          util::kCacheLine);
+      auto storage = std::make_unique<std::byte[]>(padded);
+      std::fill_n(storage.get(), padded, std::byte{0});
+      it = buffers_.emplace(name, Buf{std::move(storage), bytes}).first;
+    }
+    SRM_CHECK_MSG(it->second.size == bytes,
+                  "segment buffer '" << name << "' re-attached with size "
+                                     << bytes << " != " << it->second.size);
+    return {it->second.data.get(), bytes};
+  }
+
+  /// Create-or-attach a shared model object (flag array, counter, ...).
+  /// The first caller constructs it with @p args; later callers attach.
+  template <typename T, typename... Args>
+  T& object(const std::string& name, Args&&... args) {
+    auto it = objects_.find(name);
+    if (it == objects_.end()) {
+      auto obj = std::make_shared<T>(std::forward<Args>(args)...);
+      it = objects_
+               .emplace(name, Obj{std::move(obj), std::type_index(typeid(T))})
+               .first;
+    }
+    SRM_CHECK_MSG(it->second.type == std::type_index(typeid(T)),
+                  "segment object '" << name << "' attached with wrong type");
+    return *static_cast<T*>(it->second.ptr.get());
+  }
+
+  bool contains(const std::string& name) const {
+    return buffers_.count(name) != 0 || objects_.count(name) != 0;
+  }
+
+  std::size_t buffer_count() const noexcept { return buffers_.size(); }
+  std::size_t object_count() const noexcept { return objects_.size(); }
+
+ private:
+  struct Buf {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+  struct Obj {
+    std::shared_ptr<void> ptr;
+    std::type_index type;
+  };
+  std::unordered_map<std::string, Buf> buffers_;
+  std::unordered_map<std::string, Obj> objects_;
+};
+
+}  // namespace srm::shm

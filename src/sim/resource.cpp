@@ -1,0 +1,79 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srm::sim {
+
+namespace {
+constexpr double kEpsBytes = 1e-6;
+}
+
+FairShareResource::FairShareResource(Engine& eng, double total_bytes_per_sec,
+                                     double per_stream_cap)
+    : eng_(&eng), total_rate_(total_bytes_per_sec), cap_(per_stream_cap) {
+  SRM_CHECK(total_rate_ > 0.0);
+  SRM_CHECK(cap_ >= 0.0);
+}
+
+double FairShareResource::current_rate() const {
+  if (active_.empty()) return cap_ > 0.0 ? std::min(cap_, total_rate_) : total_rate_;
+  double share = total_rate_ / static_cast<double>(active_.size());
+  return cap_ > 0.0 ? std::min(cap_, share) : share;
+}
+
+void FairShareResource::advance_to_now() {
+  Time now = eng_->now();
+  if (now == last_update_ || active_.empty()) {
+    last_update_ = now;
+    return;
+  }
+  double progressed =
+      current_rate() * static_cast<double>(now - last_update_) / 1e9;
+  for (auto& x : active_) x.remaining = std::max(0.0, x.remaining - progressed);
+  last_update_ = now;
+}
+
+std::shared_ptr<Trigger> FairShareResource::start(double bytes) {
+  SRM_CHECK(bytes >= 0.0);
+  auto done = std::make_shared<Trigger>(*eng_);
+  if (bytes <= kEpsBytes) {
+    done->fire();
+    return done;
+  }
+  advance_to_now();
+  active_.push_back(Xfer{bytes, done});
+  reschedule();
+  return done;
+}
+
+void FairShareResource::reschedule() {
+  if (has_pending_) {
+    eng_->cancel(pending_);
+    has_pending_ = false;
+  }
+  if (active_.empty()) return;
+  double min_rem = active_.front().remaining;
+  for (const auto& x : active_) min_rem = std::min(min_rem, x.remaining);
+  Duration dt = duration_for(min_rem, current_rate());
+  pending_ = eng_->call_at(eng_->now() + dt, [this] { on_deadline(); });
+  has_pending_ = true;
+}
+
+void FairShareResource::on_deadline() {
+  has_pending_ = false;
+  advance_to_now();
+  // Complete every transfer that has drained (ties complete together).
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].remaining <= kEpsBytes) {
+      active_[i].done->fire();
+    } else {
+      active_[kept++] = std::move(active_[i]);
+    }
+  }
+  active_.resize(kept);
+  reschedule();
+}
+
+}  // namespace srm::sim

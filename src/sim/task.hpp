@@ -1,0 +1,107 @@
+// CoTask: the coroutine type in which every simulated activity runs.
+//
+// A CoTask is a *lazy* coroutine: creating one does not run any code; it
+// starts when first resumed — either by the engine (top-level processes
+// spawned with Engine::spawn) or by being co_await-ed from another CoTask
+// (symmetric transfer, no stack growth). Exceptions propagate through the
+// continuation chain exactly like ordinary call stacks.
+//
+// Lifetime rules:
+//  * a child task awaited with `co_await child_fn(...)` lives in the parent's
+//    frame and is destroyed when the parent resumes past the await;
+//  * a top-level task handed to Engine::spawn is owned by the engine and
+//    reaped after completion.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace srm::sim {
+
+class [[nodiscard]] CoTask {
+ public:
+  struct promise_type;
+  using handle_t = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    CoTask get_return_object() {
+      return CoTask{handle_t::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(handle_t h) noexcept {
+        auto& p = h.promise();
+        if (p.on_complete) p.on_complete(p.exception);
+        if (p.continuation) return p.continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+    std::coroutine_handle<> continuation{};
+    std::exception_ptr exception{};
+    /// Invoked at completion, before resuming the continuation. Used by the
+    /// engine to reap top-level tasks; must not throw.
+    std::function<void(std::exception_ptr)> on_complete{};
+  };
+
+  CoTask() noexcept = default;
+  explicit CoTask(handle_t h) noexcept : h_(h) {}
+  CoTask(CoTask&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  CoTask& operator=(CoTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+  bool done() const noexcept { return h_ && h_.done(); }
+
+  /// Awaiting a CoTask starts it (symmetric transfer) and resumes the awaiter
+  /// when it completes; rethrows any exception the task ended with.
+  struct Awaiter {
+    handle_t h;
+    bool await_ready() const noexcept { return !h || h.done(); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+      SRM_CHECK_MSG(!h.promise().continuation, "CoTask awaited twice");
+      h.promise().continuation = cont;
+      return h;
+    }
+    void await_resume() const {
+      if (h && h.promise().exception) {
+        std::rethrow_exception(h.promise().exception);
+      }
+    }
+  };
+  Awaiter operator co_await() const noexcept { return Awaiter{h_}; }
+
+  /// Release ownership of the underlying handle (engine internals only).
+  handle_t release() noexcept { return std::exchange(h_, {}); }
+  handle_t handle() const noexcept { return h_; }
+
+ private:
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  handle_t h_{};
+};
+
+}  // namespace srm::sim

@@ -1,0 +1,54 @@
+// Trigger: a one-shot completion latch for coroutines.
+//
+// Any number of coroutines may `co_await trigger.wait()`; they all resume at
+// the virtual time fire() is called (or immediately, without suspending, if
+// the trigger already fired). Used for transfer completions, rendezvous
+// handshakes, and non-blocking operation handles.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace srm::sim {
+
+class Trigger {
+ public:
+  explicit Trigger(Engine& eng) : eng_(&eng) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const noexcept { return fired_; }
+
+  /// Fire the latch; wakes all current and future waiters. Must be called at
+  /// most once between resets.
+  void fire() {
+    SRM_CHECK_MSG(!fired_, "Trigger fired twice");
+    fired_ = true;
+    for (auto h : waiters_) eng_->resume_at(eng_->now(), h);
+    waiters_.clear();
+  }
+
+  /// Re-arm a fired trigger. Only legal when nobody is waiting.
+  void reset() {
+    SRM_CHECK(waiters_.empty());
+    fired_ = false;
+  }
+
+  struct Awaiter {
+    Trigger* t;
+    bool await_ready() const noexcept { return t->fired_; }
+    void await_suspend(std::coroutine_handle<> h) { t->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() noexcept { return Awaiter{this}; }
+
+ private:
+  Engine* eng_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace srm::sim

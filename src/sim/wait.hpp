@@ -1,0 +1,68 @@
+// WaitQueue: predicate-based blocking, the simulator's condition variable.
+//
+// A coroutine does `co_await wq.wait_until([&]{ return pred; })`. Whoever
+// mutates the protected state calls notify(); every waiter whose predicate
+// now holds is resumed at the current virtual time. Like a condition
+// variable, wakeups re-check the predicate, so multiple waiters racing for
+// one resource are handled correctly.
+#pragma once
+
+#include <coroutine>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace srm::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& eng) : eng_(&eng) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Suspend until @p pred returns true. Returns immediately (without
+  /// yielding to the engine) when the predicate already holds.
+  CoTask wait_until(std::function<bool()> pred) {
+    while (!pred()) co_await WaitOnce{this, &pred};
+  }
+
+  /// Wake every waiter whose predicate currently holds.
+  void notify() {
+    // A resumed waiter may re-enter wait() synchronously only via the engine
+    // queue (resume is deferred to resume_at), so iterating is safe.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      if ((*waiters_[i].pred)()) {
+        eng_->resume_at(eng_->now(), waiters_[i].h);
+      } else {
+        waiters_[kept++] = waiters_[i];
+      }
+    }
+    waiters_.resize(kept);
+  }
+
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    const std::function<bool()>* pred;
+  };
+  struct WaitOnce {
+    WaitQueue* wq;
+    const std::function<bool()>* pred;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      wq->waiters_.push_back(Waiter{h, pred});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Engine* eng_;
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace srm::sim

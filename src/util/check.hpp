@@ -1,0 +1,47 @@
+// Runtime checking macros used across the SRM codebase.
+//
+// All checks are active in every build type: simulation correctness depends
+// on invariants that are cheap relative to the event-queue machinery, and a
+// silently-corrupt simulation is worse than a slow one.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace srm::util {
+
+/// Error thrown when an internal invariant or a user-visible precondition is
+/// violated. Carries the failing expression and source location in what().
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace srm::util
+
+/// SRM_CHECK(cond): verify an invariant; throws srm::util::CheckError on
+/// failure. Usable in noexcept-free code paths only.
+#define SRM_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::srm::util::check_failed(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+/// SRM_CHECK_MSG(cond, streamed-message): as SRM_CHECK with extra context.
+#define SRM_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::srm::util::check_failed(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// The simulator itself never consumes randomness (results must be bitwise
+// reproducible); RNG is used only to fill payload buffers and to generate
+// test schedules. SplitMix64 is tiny, fast, and has a well-understood
+// distribution.
+#pragma once
+
+#include <cstdint>
+
+namespace srm::util {
+
+/// SplitMix64 generator. Deterministic across platforms.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace srm::util

@@ -1,0 +1,44 @@
+// Streaming min/max/mean accumulator for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace srm::util {
+
+/// Accumulates a stream of doubles; O(1) space.
+class Stats {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    SRM_CHECK(n_ > 0);
+    return sum_ / static_cast<double>(n_);
+  }
+  double min() const {
+    SRM_CHECK(n_ > 0);
+    return min_;
+  }
+  double max() const {
+    SRM_CHECK(n_ > 0);
+    return max_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace srm::util

@@ -1,0 +1,137 @@
+// Data-movement accounting: the paper's §2.2 / Fig. 2 argument, verified
+// quantitatively. "SRM reduce within an SMP node involves a memory copy for
+// processes that are at the lowest level in a binomial tree... For eight
+// processes, there are four memory copies. The remainder of the tree simply
+// involves execution of the operator... the message-passing implementation
+// requires seven data movement operations... [which] might internally
+// involve 7 or even 14 memory copies."
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/communicator.hpp"
+#include "mpi/comm.hpp"
+
+namespace srm {
+namespace {
+
+using machine::Cluster;
+using machine::ClusterConfig;
+using machine::TaskCtx;
+using sim::CoTask;
+
+ClusterConfig one_node(int p) {
+  ClusterConfig c;
+  c.nodes = 1;
+  c.tasks_per_node = p;
+  return c;
+}
+
+struct Moves {
+  std::uint64_t copies;
+  std::uint64_t combines;
+};
+
+Moves srm_reduce_moves(int p, std::size_t count) {
+  Cluster cluster(one_node(p));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  std::vector<double> out(count, 0.0);
+  auto& mem = cluster.node(0).mem;
+  std::uint64_t c0 = mem.copies(), k0 = mem.combines();
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<double> mine(count, 1.0 * t.rank);
+    co_await comm.reduce(t, mine.data(), out.data(), count, coll::Dtype::f64,
+                         coll::RedOp::sum, 0);
+  });
+  return {mem.copies() - c0, mem.combines() - k0};
+}
+
+Moves mpi_reduce_moves(int p, std::size_t count) {
+  Cluster cluster(one_node(p));
+  minimpi::World world(cluster, cluster.params().mpi_ibm, "ibm");
+  std::vector<double> out(count, 0.0);
+  auto& mem = cluster.node(0).mem;
+  std::uint64_t c0 = mem.copies(), k0 = mem.combines();
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<double> mine(count, 1.0 * t.rank);
+    co_await world.comm(t.rank).reduce(mine.data(), out.data(), count,
+                                       coll::Dtype::f64, coll::RedOp::sum,
+                                       0);
+  });
+  return {mem.copies() - c0, mem.combines() - k0};
+}
+
+TEST(CopyCounts, Fig2EightTaskSmpReduce) {
+  // The paper's exact example: eight processes, one chunk.
+  Moves srm = srm_reduce_moves(8, 100);
+  // Four leaf copies (P1, P3, P5, P7); everything else is pure operator
+  // execution (7 combines: one per tree edge).
+  EXPECT_EQ(srm.copies, 4u);
+  EXPECT_EQ(srm.combines, 7u);
+
+  Moves mpi = mpi_reduce_moves(8, 100);
+  // Message passing moves data at every tree edge: 7 sends, each a 2-copy
+  // shared-memory transfer (14 copies) plus the root's send->recv seed copy.
+  EXPECT_GE(mpi.copies, 14u);
+  EXPECT_EQ(mpi.combines, 7u);
+}
+
+TEST(CopyCounts, SmpReduceCopiesEqualLeafCount) {
+  // Property: one copy per *leaf* of the intranode binomial tree per chunk;
+  // interior tasks never copy, they only combine.
+  for (int p : {2, 4, 16}) {
+    Moves m = srm_reduce_moves(p, 10);
+    coll::Tree tree = coll::binomial_tree(p, 0);
+    std::uint64_t leaves = 0;
+    for (int v = 0; v < p; ++v) {
+      if (tree.children[static_cast<std::size_t>(v)].empty() && v != 0) {
+        ++leaves;
+      }
+    }
+    EXPECT_EQ(m.copies, leaves) << "p=" << p;
+    EXPECT_EQ(m.combines, static_cast<std::uint64_t>(p - 1)) << "p=" << p;
+  }
+}
+
+TEST(CopyCounts, SmpBcastOneCopyInPlusOnePerConsumer) {
+  Cluster cluster(one_node(8));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  auto& mem = cluster.node(0).mem;
+  std::uint64_t c0 = mem.copies();
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<char> buf(1024, static_cast<char>(t.rank == 0));
+    co_await comm.broadcast(t, buf.data(), buf.size(), 0);
+  });
+  // Root copies into the shared buffer; 7 consumers copy out.
+  EXPECT_EQ(mem.copies() - c0, 8u);
+}
+
+TEST(CopyCounts, SrmMovesLessDataThanMpiAcrossTheBoard) {
+  for (int p : {4, 8, 16}) {
+    Moves s = srm_reduce_moves(p, 500);
+    Moves m = mpi_reduce_moves(p, 500);
+    EXPECT_LT(s.copies, m.copies) << "p=" << p;
+  }
+}
+
+TEST(CopyCounts, NetworkBytesMatchProtocol) {
+  // Inter-node: a 1 KiB broadcast on 4 nodes moves 3 data puts + 3 credit
+  // signals and nothing else.
+  ClusterConfig cc;
+  cc.nodes = 4;
+  cc.tasks_per_node = 4;
+  Cluster cluster(cc);
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  double b0 = cluster.network().bytes();
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<char> buf(1024, static_cast<char>(t.rank == 0));
+    co_await comm.broadcast(t, buf.data(), buf.size(), 0);
+  });
+  EXPECT_DOUBLE_EQ(cluster.network().bytes() - b0, 3 * 1024.0);
+}
+
+}  // namespace
+}  // namespace srm

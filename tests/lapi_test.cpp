@@ -1,0 +1,284 @@
+// LAPI layer: put data integrity, counter semantics, interrupt vs polling
+// delivery, Waitcntr decrement, active messages, get.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "lapi/lapi.hpp"
+
+namespace srm::lapi {
+namespace {
+
+using machine::Cluster;
+using machine::ClusterConfig;
+using machine::TaskCtx;
+using sim::CoTask;
+using sim::Time;
+using sim::us;
+
+ClusterConfig two_nodes() {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.tasks_per_node = 1;
+  return cfg;
+}
+
+struct PutFixture {
+  PutFixture(ClusterConfig cfg) : cluster(cfg), fabric(cluster) {}
+  Cluster cluster;
+  Fabric fabric;
+};
+
+TEST(Lapi, PutMovesDataAndBumpsTargetCounter) {
+  PutFixture f(two_nodes());
+  std::vector<double> src(1024);
+  std::iota(src.begin(), src.end(), 0.0);
+  std::vector<double> dst(1024, -1.0);
+  Counter arrived(f.cluster.engine());
+  Time recv_done = 0;
+
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put(f.fabric.ep(1), dst.data(), src.data(),
+                                  src.size() * sizeof(double), &arrived);
+    } else {
+      co_await f.fabric.ep(1).wait_cntr(arrived, 1);
+      recv_done = t.eng->now();
+    }
+  });
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(arrived.value(), 0u);  // wait_cntr subtracted the awaited value
+  EXPECT_GT(recv_done, us(10));    // at least the wire latency
+}
+
+TEST(Lapi, OriginCounterBumpsWhenBufferReusable) {
+  PutFixture f(two_nodes());
+  std::vector<char> src(64, 'a'), dst(64, 0);
+  Counter org(f.cluster.engine());
+  Counter tgt(f.cluster.engine());
+  Time org_seen = 0, tgt_seen = 0;
+
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put(f.fabric.ep(1), dst.data(), src.data(),
+                                  src.size(), &tgt, &org);
+      co_await f.fabric.ep(0).wait_cntr(org, 1);
+      org_seen = t.eng->now();
+    } else {
+      co_await f.fabric.ep(1).wait_cntr(tgt, 1);
+      tgt_seen = t.eng->now();
+    }
+  });
+  EXPECT_GT(org_seen, 0u);
+  EXPECT_GT(tgt_seen, org_seen);  // reuse happens before remote delivery
+}
+
+TEST(Lapi, CompletionCounterRequiresRoundTrip) {
+  PutFixture f(two_nodes());
+  std::vector<char> src(64, 'b'), dst(64, 0);
+  Counter tgt(f.cluster.engine());
+  Counter cmpl(f.cluster.engine());
+  Time cmpl_seen = 0, tgt_seen = 0;
+
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put(f.fabric.ep(1), dst.data(), src.data(),
+                                  src.size(), &tgt, nullptr, &cmpl);
+      co_await f.fabric.ep(0).wait_cntr(cmpl, 1);
+      cmpl_seen = t.eng->now();
+    } else {
+      co_await f.fabric.ep(1).wait_cntr(tgt, 1);
+      tgt_seen = t.eng->now();
+    }
+  });
+  EXPECT_GT(cmpl_seen, tgt_seen);  // ack flows back after target deposit
+}
+
+TEST(Lapi, ZeroBytePutSignalsCounter) {
+  PutFixture f(two_nodes());
+  Counter c(f.cluster.engine());
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+    } else {
+      co_await f.fabric.ep(1).wait_cntr(c, 1);
+    }
+  });
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Lapi, WaitcntrAccumulatesAcrossMultiplePuts) {
+  PutFixture f(two_nodes());
+  Counter c(f.cluster.engine());
+  int wakeups = 0;
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      for (int i = 0; i < 4; ++i) {
+        co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+      }
+    } else {
+      co_await f.fabric.ep(1).wait_cntr(c, 4);
+      ++wakeups;
+    }
+  });
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Lapi, InterruptPathTakenWhenTargetBusy) {
+  PutFixture f(two_nodes());
+  Counter c(f.cluster.engine());
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+    } else {
+      // Busy with "SMP work" long past the arrival; interrupts enabled.
+      co_await t.delay(sim::ms(5));
+      std::uint64_t v = 0;
+      co_await f.fabric.ep(1).get_cntr(c, v);
+      EXPECT_EQ(v, 1u);
+    }
+  });
+  EXPECT_EQ(f.fabric.ep(1).interrupts_taken(), 1u);
+}
+
+TEST(Lapi, DisabledInterruptsDeferProcessingToNextCall) {
+  PutFixture f(two_nodes());
+  Counter c(f.cluster.engine());
+  Time processed_at = 0;
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+    } else {
+      f.fabric.ep(1).set_interrupts(false);
+      co_await t.delay(sim::ms(5));  // arrival happens during this
+      co_await f.fabric.ep(1).wait_cntr(c, 1);  // first LAPI call -> progress
+      processed_at = t.eng->now();
+      f.fabric.ep(1).set_interrupts(true);
+    }
+  });
+  EXPECT_EQ(f.fabric.ep(1).interrupts_taken(), 0u);
+  EXPECT_GE(processed_at, sim::ms(5));
+}
+
+TEST(Lapi, EnablingInterruptsFlushesPending) {
+  PutFixture f(two_nodes());
+  Counter c(f.cluster.engine());
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+      co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+    } else {
+      f.fabric.ep(1).set_interrupts(false);
+      co_await t.delay(sim::ms(5));
+      f.fabric.ep(1).set_interrupts(true);  // flush both arrivals inline
+      co_await f.fabric.ep(1).wait_cntr(c, 2);
+    }
+  });
+  // The toggle is a library call: queued arrivals are polled, not
+  // interrupt-driven.
+  EXPECT_EQ(f.fabric.ep(1).interrupts_taken(), 0u);
+}
+
+TEST(Lapi, PollingDeliveryIsCheaperThanInterrupt) {
+  auto run = [](bool target_waits) {
+    PutFixture f(two_nodes());
+    Counter c(f.cluster.engine());
+    Time seen = 0;
+    f.cluster.run([&, target_waits](TaskCtx& t) -> CoTask {
+      if (t.rank == 0) {
+        co_await t.delay(us(50));
+        co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+      } else {
+        if (target_waits) {
+          // Already blocked in Waitcntr when the message arrives: poll path.
+          co_await f.fabric.ep(1).wait_cntr(c, 1);
+        } else {
+          // Busy until well after arrival: interrupt path, then read.
+          co_await t.delay(sim::ms(1));
+          co_await f.fabric.ep(1).wait_cntr(c, 1);
+        }
+        seen = t.eng->now();
+      }
+    });
+    return seen;
+  };
+  Time polled = run(true);
+  Time interrupted_busy_until = sim::ms(1);
+  Time interrupted = run(false);
+  EXPECT_LT(polled, us(80));
+  EXPECT_GT(interrupted, interrupted_busy_until);
+}
+
+TEST(Lapi, ActiveMessageRunsHandlerAtTarget) {
+  PutFixture f(two_nodes());
+  int fired = 0;
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).am(f.fabric.ep(1), 64, [&] { ++fired; });
+    } else {
+      Counter dummy(*t.eng);
+      std::uint64_t v = 0;
+      co_await t.delay(us(100));
+      co_await f.fabric.ep(1).get_cntr(dummy, v);
+    }
+  });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Lapi, GetFetchesRemoteData) {
+  PutFixture f(two_nodes());
+  std::vector<int> remote(256);
+  std::iota(remote.begin(), remote.end(), 100);
+  std::vector<int> local(256, 0);
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).get(f.fabric.ep(1), local.data(), remote.data(),
+                                  remote.size() * sizeof(int));
+    } else {
+      // Target stays available for progress (interrupts on by default).
+      co_await t.delay(us(1));
+    }
+  });
+  EXPECT_EQ(local, remote);
+}
+
+TEST(Lapi, IntraNodePutForbidden) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.tasks_per_node = 2;
+  PutFixture f(cfg);
+  Counter c(f.cluster.engine());
+  EXPECT_THROW(
+      f.cluster.run([&](TaskCtx& t) -> CoTask {
+        if (t.rank == 0) {
+          co_await f.fabric.ep(0).put_signal(f.fabric.ep(1), c);
+        }
+      }),
+      util::CheckError);
+}
+
+TEST(Lapi, LargePutRespectsBandwidth) {
+  PutFixture f(two_nodes());
+  std::vector<char> src(8 << 20, 'z'), dst(8 << 20, 0);
+  Counter tgt(f.cluster.engine());
+  Time seen = 0;
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    if (t.rank == 0) {
+      co_await f.fabric.ep(0).put(f.fabric.ep(1), dst.data(), src.data(),
+                                  src.size(), &tgt);
+    } else {
+      co_await f.fabric.ep(1).wait_cntr(tgt, 1);
+      seen = t.eng->now();
+    }
+  });
+  // 8 MiB at 350 MB/s is ~24 ms; anything close means bandwidth was charged.
+  EXPECT_GT(seen, sim::ms(20));
+  EXPECT_LT(seen, sim::ms(30));
+  EXPECT_EQ(dst, src);
+}
+
+}  // namespace
+}  // namespace srm::lapi

@@ -1,0 +1,132 @@
+// Full-scale integration: the paper's largest configuration (256 CPUs,
+// 16 nodes x 16 tasks) running every operation with data verification,
+// plus a 15-per-node "daemon CPU" shape and a stress mix at scale.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/communicator.hpp"
+
+namespace srm {
+namespace {
+
+using machine::Cluster;
+using machine::ClusterConfig;
+using machine::TaskCtx;
+using sim::CoTask;
+
+struct Fixture {
+  Fixture(int nodes, int per_node)
+      : cluster(make_cfg(nodes, per_node)),
+        fabric(cluster),
+        comm(cluster, fabric) {}
+  static ClusterConfig make_cfg(int nodes, int per_node) {
+    ClusterConfig c;
+    c.nodes = nodes;
+    c.tasks_per_node = per_node;
+    return c;
+  }
+  Cluster cluster;
+  lapi::Fabric fabric;
+  Communicator comm;
+};
+
+TEST(Scale, AllOpsAt256Cpus) {
+  Fixture f(16, 16);
+  int n = 256;
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    // Broadcast 100 KB (large protocol) from a non-master root.
+    std::vector<char> buf(100000, 0);
+    if (t.rank == 37) {
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<char>(i % 251);
+      }
+    }
+    co_await f.comm.broadcast(t, buf.data(), buf.size(), 37);
+    for (std::size_t i = 0; i < buf.size(); i += 997) {
+      EXPECT_EQ(buf[i], static_cast<char>(i % 251)) << "rank " << t.rank;
+    }
+
+    // Pipelined allreduce of 5000 doubles.
+    std::vector<double> in(5000, 1.0 + t.rank % 4), out(5000, 0.0);
+    co_await f.comm.allreduce(t, in.data(), out.data(), 5000,
+                              coll::Dtype::f64, coll::RedOp::sum);
+    double expect = 0.0;
+    for (int r = 0; r < n; ++r) expect += 1.0 + r % 4;
+    EXPECT_DOUBLE_EQ(out[0], expect);
+    EXPECT_DOUBLE_EQ(out[4999], expect);
+
+    // Reduce (min) to the last rank.
+    double mine = 1000.0 - t.rank, least = 0.0;
+    co_await f.comm.reduce(t, &mine, &least, 1, coll::Dtype::f64,
+                           coll::RedOp::min, 255);
+    if (t.rank == 255) {
+      EXPECT_DOUBLE_EQ(least, 1000.0 - 255);
+    }
+
+    co_await f.comm.barrier(t);
+
+    // Allgather one double per rank.
+    double me = 2.0 * t.rank;
+    std::vector<double> all(256, -1.0);
+    co_await f.comm.allgather(t, &me, all.data(), 1, sizeof(double));
+    for (int r = 0; r < n; r += 17) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], 2.0 * r);
+    }
+  });
+}
+
+TEST(Scale, FifteenTasksPerNodeDaemonShape) {
+  // §2.1: "some applications on the IBM SP leave out one processor and use
+  // only 15 of the 16 processors per node" — the embedding stays optimal.
+  Fixture f(8, 15);
+  int n = 120;
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<double> in(300, t.rank * 0.25), out(300, 0.0);
+    co_await f.comm.allreduce(t, in.data(), out.data(), 300,
+                              coll::Dtype::f64, coll::RedOp::sum);
+    EXPECT_DOUBLE_EQ(out[0], 0.25 * n * (n - 1) / 2.0);
+    co_await f.comm.barrier(t);
+  });
+}
+
+TEST(Scale, SustainedMixAt128Cpus) {
+  Fixture f(8, 16);
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    for (int round = 0; round < 4; ++round) {
+      std::vector<char> b(20000 + round * 30000, 0);
+      int root = round * 31 % 128;
+      if (t.rank == root) {
+        for (std::size_t i = 0; i < b.size(); ++i) {
+          b[i] = static_cast<char>(i % 127);
+        }
+      }
+      co_await f.comm.broadcast(t, b.data(), b.size(), root);
+      EXPECT_EQ(b[b.size() - 1],
+                static_cast<char>((b.size() - 1) % 127));
+
+      double v = t.rank + round, s = 0.0;
+      co_await f.comm.allreduce(t, &v, &s, 1, coll::Dtype::f64,
+                                coll::RedOp::sum);
+      EXPECT_DOUBLE_EQ(s, 128.0 * 127 / 2 + 128.0 * round);
+    }
+  });
+}
+
+TEST(Scale, VirtualTimeIsDeterministicAt256) {
+  auto once = [] {
+    Fixture f(16, 16);
+    f.cluster.run([&](TaskCtx& t) -> CoTask {
+      std::vector<double> in(100, 1.0), out(100, 0.0);
+      co_await f.comm.allreduce(t, in.data(), out.data(), 100,
+                                coll::Dtype::f64, coll::RedOp::sum);
+      co_await f.comm.barrier(t);
+    });
+    return std::pair{f.cluster.engine().now(),
+                     f.cluster.engine().events_processed()};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace srm

@@ -1,0 +1,263 @@
+// Engine + CoTask semantics: ordering, determinism, nesting, exceptions,
+// deadlock detection, triggers, and predicate waits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+#include "sim/wait.hpp"
+
+namespace srm::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.call_at(us(30), [&] { order.push_back(3); });
+  eng.call_at(us(10), [&] { order.push_back(1); });
+  eng.call_at(us(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), us(30));
+}
+
+TEST(Engine, SameTimeEventsFireInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    eng.call_at(us(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, CancelledEventDoesNotFire) {
+  Engine eng;
+  bool fired = false;
+  auto id = eng.call_at(us(5), [&] { fired = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine eng;
+  int count = 0;
+  Engine::EventId id = eng.call_at(us(1), [&] { ++count; });
+  eng.run();
+  eng.cancel(id);  // harmless
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine eng;
+  eng.call_at(us(10), [&] {
+    EXPECT_THROW(eng.call_at(us(5), [] {}), util::CheckError);
+  });
+  eng.run();
+}
+
+CoTask sleeper(Engine& eng, Duration d, Time& woke) {
+  co_await eng.sleep(d);
+  woke = eng.now();
+}
+
+TEST(Engine, SpawnedTaskSleeps) {
+  Engine eng;
+  Time woke = 0;
+  eng.spawn(sleeper(eng, us(42), woke));
+  eng.run();
+  EXPECT_EQ(woke, us(42));
+  EXPECT_EQ(eng.live_processes(), 0u);
+}
+
+CoTask nested_child(Engine& eng, std::vector<std::string>& log) {
+  log.push_back("child-start@" + std::to_string(eng.now()));
+  co_await eng.sleep(us(5));
+  log.push_back("child-end@" + std::to_string(eng.now()));
+}
+
+CoTask nested_parent(Engine& eng, std::vector<std::string>& log) {
+  log.push_back("parent-start");
+  co_await nested_child(eng, log);
+  log.push_back("parent-resumed@" + std::to_string(eng.now()));
+}
+
+TEST(CoTask, NestedAwaitRunsChildToCompletion) {
+  Engine eng;
+  std::vector<std::string> log;
+  eng.spawn(nested_parent(eng, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "parent-start");
+  EXPECT_EQ(log[1], "child-start@0");
+  EXPECT_EQ(log[2], "child-end@" + std::to_string(us(5)));
+  EXPECT_EQ(log[3], "parent-resumed@" + std::to_string(us(5)));
+}
+
+CoTask deep(Engine& eng, int depth, int& leaf_count) {
+  if (depth == 0) {
+    co_await eng.sleep(ns(1));
+    ++leaf_count;
+    co_return;
+  }
+  co_await deep(eng, depth - 1, leaf_count);
+}
+
+TEST(CoTask, DeepNestingDoesNotOverflow) {
+  // Symmetric transfer: 20k-deep await chains must not grow the stack.
+  Engine eng;
+  int leaves = 0;
+  eng.spawn(deep(eng, 20000, leaves));
+  eng.run();
+  EXPECT_EQ(leaves, 1);
+}
+
+CoTask thrower(Engine& eng) {
+  co_await eng.sleep(us(1));
+  throw std::runtime_error("boom");
+}
+
+CoTask rethrow_checker(Engine& eng, bool& caught) {
+  try {
+    co_await thrower(eng);
+  } catch (const std::runtime_error& e) {
+    caught = std::string(e.what()) == "boom";
+  }
+}
+
+TEST(CoTask, ExceptionPropagatesToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(rethrow_checker(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(CoTask, ExceptionFromRootTaskEscapesRun) {
+  Engine eng;
+  eng.spawn(thrower(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+CoTask wait_forever(Trigger& t) { co_await t.wait(); }
+
+TEST(Engine, DeadlockDetected) {
+  Engine eng;
+  Trigger never(eng);
+  eng.spawn(wait_forever(never));
+  EXPECT_THROW(eng.run(), util::CheckError);
+}
+
+CoTask fire_later(Engine& eng, Trigger& t, Duration d) {
+  co_await eng.sleep(d);
+  t.fire();
+}
+
+CoTask await_trigger(Trigger& t, Engine& eng, Time& when) {
+  co_await t.wait();
+  when = eng.now();
+}
+
+TEST(Trigger, WakesAllWaitersAtFireTime) {
+  Engine eng;
+  Trigger t(eng);
+  Time w1 = 0, w2 = 0;
+  eng.spawn(await_trigger(t, eng, w1));
+  eng.spawn(await_trigger(t, eng, w2));
+  eng.spawn(fire_later(eng, t, us(7)));
+  eng.run();
+  EXPECT_EQ(w1, us(7));
+  EXPECT_EQ(w2, us(7));
+}
+
+TEST(Trigger, AwaitAfterFireDoesNotSuspend) {
+  Engine eng;
+  Trigger t(eng);
+  t.fire();
+  Time when = 123;
+  eng.spawn(await_trigger(t, eng, when));
+  eng.run();
+  EXPECT_EQ(when, 0u);  // resumed synchronously at t=0
+}
+
+TEST(Trigger, DoubleFireThrows) {
+  Engine eng;
+  Trigger t(eng);
+  t.fire();
+  EXPECT_THROW(t.fire(), util::CheckError);
+}
+
+TEST(Trigger, ResetReArms) {
+  Engine eng;
+  Trigger t(eng);
+  t.fire();
+  t.reset();
+  EXPECT_FALSE(t.fired());
+  t.fire();
+  EXPECT_TRUE(t.fired());
+}
+
+CoTask producer(Engine& eng, int& value, WaitQueue& wq) {
+  co_await eng.sleep(us(3));
+  value = 1;
+  wq.notify();
+  co_await eng.sleep(us(3));
+  value = 2;
+  wq.notify();
+}
+
+CoTask consumer(Engine& eng, int& value, WaitQueue& wq, int want, Time& when) {
+  co_await wq.wait_until([&] { return value >= want; });
+  when = eng.now();
+}
+
+TEST(WaitQueue, PredicateWaitsResumeWhenSatisfied) {
+  Engine eng;
+  int value = 0;
+  WaitQueue wq(eng);
+  Time t1 = 0, t2 = 0;
+  eng.spawn(consumer(eng, value, wq, 1, t1));
+  eng.spawn(consumer(eng, value, wq, 2, t2));
+  eng.spawn(producer(eng, value, wq));
+  eng.run();
+  EXPECT_EQ(t1, us(3));
+  EXPECT_EQ(t2, us(6));
+}
+
+TEST(WaitQueue, AlreadySatisfiedPredicateDoesNotSuspend) {
+  Engine eng;
+  int value = 5;
+  WaitQueue wq(eng);
+  Time when = 99;
+  eng.spawn(consumer(eng, value, wq, 1, when));
+  eng.run();
+  EXPECT_EQ(when, 0u);
+}
+
+// Two identical runs must be bitwise identical in event count and end time.
+TEST(Engine, Determinism) {
+  auto run_once = [] {
+    Engine eng;
+    int value = 0;
+    WaitQueue wq(eng);
+    Time t1 = 0, t2 = 0;
+    eng.spawn(consumer(eng, value, wq, 1, t1));
+    eng.spawn(producer(eng, value, wq));
+    eng.spawn(consumer(eng, value, wq, 2, t2));
+    eng.run();
+    return std::tuple{eng.now(), eng.events_processed(), t1, t2};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace srm::sim

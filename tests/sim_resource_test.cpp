@@ -1,0 +1,144 @@
+// FairShareResource: processor-sharing bandwidth arithmetic.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace srm::sim {
+namespace {
+
+CoTask one_transfer(FairShareResource& r, double bytes, Engine& eng,
+                    Time& done) {
+  co_await r.transfer(bytes);
+  done = eng.now();
+}
+
+TEST(FairShare, SingleTransferRunsAtCap) {
+  Engine eng;
+  // 1 GB/s total, 100 MB/s per-stream cap.
+  FairShareResource r(eng, 1e9, 100e6);
+  Time done = 0;
+  eng.spawn(one_transfer(r, 1e6, eng, done));  // 1 MB at 100 MB/s = 10 ms
+  eng.run();
+  EXPECT_EQ(done, ms(10));
+}
+
+TEST(FairShare, SingleTransferUncappedRunsAtTotal) {
+  Engine eng;
+  FairShareResource r(eng, 1e9);
+  Time done = 0;
+  eng.spawn(one_transfer(r, 1e6, eng, done));  // 1 MB at 1 GB/s = 1 ms
+  eng.run();
+  EXPECT_EQ(done, ms(1));
+}
+
+TEST(FairShare, ZeroByteTransferIsInstant) {
+  Engine eng;
+  FairShareResource r(eng, 1e9, 100e6);
+  Time done = 77;
+  eng.spawn(one_transfer(r, 0.0, eng, done));
+  eng.run();
+  EXPECT_EQ(done, 0u);
+}
+
+CoTask spawn_two_equal(FairShareResource& r, Engine& eng, Time& d1, Time& d2) {
+  auto t1 = r.start(1e6);
+  auto t2 = r.start(1e6);
+  co_await t1->wait();
+  d1 = eng.now();
+  co_await t2->wait();
+  d2 = eng.now();
+}
+
+TEST(FairShare, TwoEqualStreamsShareTotal) {
+  Engine eng;
+  // Total 100 MB/s, no cap: two 1 MB streams at 50 MB/s each => 20 ms both.
+  FairShareResource r(eng, 100e6);
+  Time d1 = 0, d2 = 0;
+  eng.spawn(spawn_two_equal(r, eng, d1, d2));
+  eng.run();
+  EXPECT_EQ(d1, ms(20));
+  EXPECT_EQ(d2, ms(20));
+}
+
+TEST(FairShare, CapLimitsWhenTotalIsAmple) {
+  Engine eng;
+  // Total 1 GB/s, cap 100 MB/s: two streams run at the cap, no contention.
+  FairShareResource r(eng, 1e9, 100e6);
+  Time d1 = 0, d2 = 0;
+  eng.spawn(spawn_two_equal(r, eng, d1, d2));
+  eng.run();
+  EXPECT_EQ(d1, ms(10));
+  EXPECT_EQ(d2, ms(10));
+}
+
+CoTask staggered(FairShareResource& r, Engine& eng, Time& d_small,
+                 Time& d_big) {
+  // Big transfer starts at t=0; a small one joins at t=1ms.
+  auto big = r.start(2e6);
+  co_await eng.sleep(ms(1));
+  auto small = r.start(0.5e6);
+  co_await small->wait();
+  d_small = eng.now();
+  co_await big->wait();
+  d_big = eng.now();
+}
+
+TEST(FairShare, LateJoinerSplitsBandwidth) {
+  Engine eng;
+  // Total 1 MB/ms (1 GB/s), uncapped.
+  // t in [0,1ms): big alone, drains 1 MB of 2 MB.
+  // t >= 1ms: both at 0.5 MB/ms. Small (0.5 MB) done at 1 + 1 = 2 ms.
+  // Big then has 1 MB - 0.5 MB = 0.5 MB left, alone at 1 MB/ms: done 2.5 ms.
+  FairShareResource r(eng, 1e9);
+  Time d_small = 0, d_big = 0;
+  eng.spawn(staggered(r, eng, d_small, d_big));
+  eng.run();
+  EXPECT_EQ(d_small, ms(2));
+  EXPECT_EQ(d_big, ms(2) + us(500));
+}
+
+CoTask n_streams(FairShareResource& r, int n, double bytes, Engine& eng,
+                 Time& all_done) {
+  std::vector<std::shared_ptr<Trigger>> ts;
+  for (int i = 0; i < n; ++i) ts.push_back(r.start(bytes));
+  for (auto& t : ts) co_await t->wait();
+  all_done = eng.now();
+}
+
+TEST(FairShare, SixteenWayContention) {
+  Engine eng;
+  // 4 GB/s total, 550 MB/s cap — the default node memory profile shape.
+  // 16 concurrent 1 MB streams: share = 250 MB/s each (< cap).
+  FairShareResource r(eng, 4e9, 550e6);
+  Time done = 0;
+  eng.spawn(n_streams(r, 16, 1e6, eng, done));
+  eng.run();
+  EXPECT_EQ(done, ms(4));  // 1 MB at 250 MB/s
+}
+
+TEST(FairShare, ActiveCountTracksInFlight) {
+  Engine eng;
+  FairShareResource r(eng, 1e9);
+  EXPECT_EQ(r.active(), 0u);
+  auto t = r.start(1e6);
+  EXPECT_EQ(r.active(), 1u);
+  eng.run();
+  EXPECT_EQ(r.active(), 0u);
+  EXPECT_TRUE(t->fired());
+}
+
+TEST(FairShare, Determinism) {
+  auto run_once = [] {
+    Engine eng;
+    FairShareResource r(eng, 3.7e8, 1.1e8);
+    Time d1 = 0, d2 = 0;
+    eng.spawn(staggered(r, eng, d1, d2));
+    eng.run();
+    return std::tuple{d1, d2, eng.events_processed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace srm::sim

@@ -1,0 +1,103 @@
+// util/: alignment math, RNG determinism, stats accumulator, formatting.
+#include <gtest/gtest.h>
+
+#include "util/align.hpp"
+#include "util/check.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace srm::util {
+namespace {
+
+TEST(Align, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_up(1000, kCacheLine), 1024u);
+}
+
+TEST(Align, Pow2Predicates) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(255));
+}
+
+TEST(Align, Log2) {
+  EXPECT_EQ(log2_floor(1), 0);
+  EXPECT_EQ(log2_floor(2), 1);
+  EXPECT_EQ(log2_floor(3), 1);
+  EXPECT_EQ(log2_floor(256), 8);
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(3), 2);
+  EXPECT_EQ(log2_ceil(256), 8);
+  EXPECT_EQ(log2_ceil(257), 9);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    SRM_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 r(123);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedValues) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Stats, Accumulates) {
+  Stats s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  Stats s;
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_THROW(s.min(), CheckError);
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(8), "8");
+  EXPECT_EQ(human_bytes(1023), "1023");
+  EXPECT_EQ(human_bytes(1024), "1K");
+  EXPECT_EQ(human_bytes(64 * 1024), "64K");
+  EXPECT_EQ(human_bytes(8u << 20), "8M");
+  EXPECT_EQ(human_bytes(1536), "1536");  // not a whole K
+}
+
+TEST(Format, Microseconds) {
+  EXPECT_EQ(fmt_us(1.234), "1.23");
+  EXPECT_EQ(fmt_us(123.45), "123.5");
+  EXPECT_EQ(fmt_us(54321.0), "54321");
+}
+
+}  // namespace
+}  // namespace srm::util
