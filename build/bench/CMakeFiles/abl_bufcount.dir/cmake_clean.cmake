@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bufcount.dir/abl_bufcount.cpp.o"
+  "CMakeFiles/abl_bufcount.dir/abl_bufcount.cpp.o.d"
+  "abl_bufcount"
+  "abl_bufcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bufcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

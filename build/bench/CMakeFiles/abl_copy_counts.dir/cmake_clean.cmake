@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_copy_counts.dir/abl_copy_counts.cpp.o"
+  "CMakeFiles/abl_copy_counts.dir/abl_copy_counts.cpp.o.d"
+  "abl_copy_counts"
+  "abl_copy_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_copy_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

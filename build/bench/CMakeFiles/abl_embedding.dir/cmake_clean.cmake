@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_embedding.dir/abl_embedding.cpp.o"
+  "CMakeFiles/abl_embedding.dir/abl_embedding.cpp.o.d"
+  "abl_embedding"
+  "abl_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

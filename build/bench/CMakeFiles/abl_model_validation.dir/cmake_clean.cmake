@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_validation.dir/abl_model_validation.cpp.o"
+  "CMakeFiles/abl_model_validation.dir/abl_model_validation.cpp.o.d"
+  "abl_model_validation"
+  "abl_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

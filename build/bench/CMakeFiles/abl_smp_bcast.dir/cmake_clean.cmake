@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_smp_bcast.dir/abl_smp_bcast.cpp.o"
+  "CMakeFiles/abl_smp_bcast.dir/abl_smp_bcast.cpp.o.d"
+  "abl_smp_bcast"
+  "abl_smp_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_smp_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tree_type.dir/abl_tree_type.cpp.o"
+  "CMakeFiles/abl_tree_type.dir/abl_tree_type.cpp.o.d"
+  "abl_tree_type"
+  "abl_tree_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tree_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bcast.dir/fig06_bcast.cpp.o"
+  "CMakeFiles/fig06_bcast.dir/fig06_bcast.cpp.o.d"
+  "fig06_bcast"
+  "fig06_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_reduce.dir/fig07_reduce.cpp.o"
+  "CMakeFiles/fig07_reduce.dir/fig07_reduce.cpp.o.d"
+  "fig07_reduce"
+  "fig07_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_allreduce.dir/fig08_allreduce.cpp.o"
+  "CMakeFiles/fig08_allreduce.dir/fig08_allreduce.cpp.o.d"
+  "fig08_allreduce"
+  "fig08_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bcast_ratio.dir/fig09_bcast_ratio.cpp.o"
+  "CMakeFiles/fig09_bcast_ratio.dir/fig09_bcast_ratio.cpp.o.d"
+  "fig09_bcast_ratio"
+  "fig09_bcast_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bcast_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reduce_ratio.dir/fig10_reduce_ratio.cpp.o"
+  "CMakeFiles/fig10_reduce_ratio.dir/fig10_reduce_ratio.cpp.o.d"
+  "fig10_reduce_ratio"
+  "fig10_reduce_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reduce_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

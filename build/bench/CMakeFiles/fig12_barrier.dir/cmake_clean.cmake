@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_barrier.dir/fig12_barrier.cpp.o"
+  "CMakeFiles/fig12_barrier.dir/fig12_barrier.cpp.o.d"
+  "fig12_barrier"
+  "fig12_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_stats.dir/global_stats.cpp.o"
+  "CMakeFiles/global_stats.dir/global_stats.cpp.o.d"
+  "global_stats"
+  "global_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

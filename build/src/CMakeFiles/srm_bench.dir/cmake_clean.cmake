@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_bench.dir/bench/harness.cpp.o"
+  "CMakeFiles/srm_bench.dir/bench/harness.cpp.o.d"
+  "libsrm_bench.a"
+  "libsrm_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

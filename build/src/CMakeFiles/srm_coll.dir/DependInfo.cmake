@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/ops.cpp" "src/CMakeFiles/srm_coll.dir/coll/ops.cpp.o" "gcc" "src/CMakeFiles/srm_coll.dir/coll/ops.cpp.o.d"
+  "/root/repo/src/coll/tree.cpp" "src/CMakeFiles/srm_coll.dir/coll/tree.cpp.o" "gcc" "src/CMakeFiles/srm_coll.dir/coll/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_coll.dir/coll/ops.cpp.o"
+  "CMakeFiles/srm_coll.dir/coll/ops.cpp.o.d"
+  "CMakeFiles/srm_coll.dir/coll/tree.cpp.o"
+  "CMakeFiles/srm_coll.dir/coll/tree.cpp.o.d"
+  "libsrm_coll.a"
+  "libsrm_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allreduce.cpp" "src/CMakeFiles/srm_core.dir/core/allreduce.cpp.o" "gcc" "src/CMakeFiles/srm_core.dir/core/allreduce.cpp.o.d"
+  "/root/repo/src/core/barrier.cpp" "src/CMakeFiles/srm_core.dir/core/barrier.cpp.o" "gcc" "src/CMakeFiles/srm_core.dir/core/barrier.cpp.o.d"
+  "/root/repo/src/core/bcast.cpp" "src/CMakeFiles/srm_core.dir/core/bcast.cpp.o" "gcc" "src/CMakeFiles/srm_core.dir/core/bcast.cpp.o.d"
+  "/root/repo/src/core/communicator.cpp" "src/CMakeFiles/srm_core.dir/core/communicator.cpp.o" "gcc" "src/CMakeFiles/srm_core.dir/core/communicator.cpp.o.d"
+  "/root/repo/src/core/gather_scatter.cpp" "src/CMakeFiles/srm_core.dir/core/gather_scatter.cpp.o" "gcc" "src/CMakeFiles/srm_core.dir/core/gather_scatter.cpp.o.d"
+  "/root/repo/src/core/reduce.cpp" "src/CMakeFiles/srm_core.dir/core/reduce.cpp.o" "gcc" "src/CMakeFiles/srm_core.dir/core/reduce.cpp.o.d"
+  "/root/repo/src/core/smp.cpp" "src/CMakeFiles/srm_core.dir/core/smp.cpp.o" "gcc" "src/CMakeFiles/srm_core.dir/core/smp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srm_lapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srm_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_core.dir/core/allreduce.cpp.o"
+  "CMakeFiles/srm_core.dir/core/allreduce.cpp.o.d"
+  "CMakeFiles/srm_core.dir/core/barrier.cpp.o"
+  "CMakeFiles/srm_core.dir/core/barrier.cpp.o.d"
+  "CMakeFiles/srm_core.dir/core/bcast.cpp.o"
+  "CMakeFiles/srm_core.dir/core/bcast.cpp.o.d"
+  "CMakeFiles/srm_core.dir/core/communicator.cpp.o"
+  "CMakeFiles/srm_core.dir/core/communicator.cpp.o.d"
+  "CMakeFiles/srm_core.dir/core/gather_scatter.cpp.o"
+  "CMakeFiles/srm_core.dir/core/gather_scatter.cpp.o.d"
+  "CMakeFiles/srm_core.dir/core/reduce.cpp.o"
+  "CMakeFiles/srm_core.dir/core/reduce.cpp.o.d"
+  "CMakeFiles/srm_core.dir/core/smp.cpp.o"
+  "CMakeFiles/srm_core.dir/core/smp.cpp.o.d"
+  "libsrm_core.a"
+  "libsrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_lapi.dir/lapi/lapi.cpp.o"
+  "CMakeFiles/srm_lapi.dir/lapi/lapi.cpp.o.d"
+  "libsrm_lapi.a"
+  "libsrm_lapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_lapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

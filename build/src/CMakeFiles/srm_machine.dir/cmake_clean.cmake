@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_machine.dir/machine/cluster.cpp.o"
+  "CMakeFiles/srm_machine.dir/machine/cluster.cpp.o.d"
+  "libsrm_machine.a"
+  "libsrm_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

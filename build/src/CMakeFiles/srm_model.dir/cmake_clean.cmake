@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_model.dir/model/model.cpp.o"
+  "CMakeFiles/srm_model.dir/model/model.cpp.o.d"
+  "libsrm_model.a"
+  "libsrm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_mpi.dir/mpi/comm.cpp.o"
+  "CMakeFiles/srm_mpi.dir/mpi/comm.cpp.o.d"
+  "libsrm_mpi.a"
+  "libsrm_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/srm_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/srm_sim.dir/sim/resource.cpp.o"
+  "CMakeFiles/srm_sim.dir/sim/resource.cpp.o.d"
+  "libsrm_sim.a"
+  "libsrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_tree_test.dir/coll_tree_test.cpp.o"
+  "CMakeFiles/coll_tree_test.dir/coll_tree_test.cpp.o.d"
+  "coll_tree_test"
+  "coll_tree_test.pdb"
+  "coll_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

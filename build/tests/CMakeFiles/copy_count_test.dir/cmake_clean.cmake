@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copy_count_test.dir/copy_count_test.cpp.o"
+  "CMakeFiles/copy_count_test.dir/copy_count_test.cpp.o.d"
+  "copy_count_test"
+  "copy_count_test.pdb"
+  "copy_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copy_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi_coll_test.cpp" "tests/CMakeFiles/mpi_coll_test.dir/mpi_coll_test.cpp.o" "gcc" "tests/CMakeFiles/mpi_coll_test.dir/mpi_coll_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srm_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srm_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/srm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

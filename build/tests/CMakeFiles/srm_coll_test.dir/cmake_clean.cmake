@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_coll_test.dir/srm_coll_test.cpp.o"
+  "CMakeFiles/srm_coll_test.dir/srm_coll_test.cpp.o.d"
+  "srm_coll_test"
+  "srm_coll_test.pdb"
+  "srm_coll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_config_test.dir/srm_config_test.cpp.o"
+  "CMakeFiles/srm_config_test.dir/srm_config_test.cpp.o.d"
+  "srm_config_test"
+  "srm_config_test.pdb"
+  "srm_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srm_gather_scatter_test.dir/srm_gather_scatter_test.cpp.o"
+  "CMakeFiles/srm_gather_scatter_test.dir/srm_gather_scatter_test.cpp.o.d"
+  "srm_gather_scatter_test"
+  "srm_gather_scatter_test.pdb"
+  "srm_gather_scatter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srm_gather_scatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

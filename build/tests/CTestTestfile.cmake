@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_resource_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/lapi_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_ptp_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_coll_test[1]_include.cmake")
+include("/root/repo/build/tests/srm_coll_test[1]_include.cmake")
+include("/root/repo/build/tests/srm_config_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_harness_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/srm_gather_scatter_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/copy_count_test[1]_include.cmake")
+include("/root/repo/build/tests/srm_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_request_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_test[1]_include.cmake")
