@@ -2,7 +2,7 @@
 // reduce. The paper argues SRM needs one memory copy per *leaf* of the
 // binomial tree (4 copies for 8 tasks) while message passing moves data on
 // every edge (7 transfers = up to 14 copies through shared memory). This
-// bench prints the measured counts straight from the memory-system ledger.
+// bench prints the measured counts straight from the srm::obs registry.
 #include <cstdio>
 
 #include "core/communicator.hpp"
@@ -29,13 +29,14 @@ Moves run_srm(int p, std::size_t count) {
   lapi::Fabric fabric(cluster);
   Communicator comm(cluster, fabric);
   std::vector<double> out(count, 0.0);
-  auto& mem = cluster.node(0).mem;
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count, 1.0 * t.rank);
     co_await comm.reduce(t, mine.data(), out.data(), count, coll::Dtype::f64,
                          coll::RedOp::sum, 0);
   });
-  return {mem.copies(), mem.combines(), mem.copy_bytes()};
+  obs::Counter copy = cluster.obs().total("mem.copy");
+  obs::Counter comb = cluster.obs().total("mem.combine");
+  return {copy.count, comb.count, copy.value};
 }
 
 Moves run_mpi(int p, std::size_t count) {
@@ -45,14 +46,15 @@ Moves run_mpi(int p, std::size_t count) {
   Cluster cluster(cc);
   minimpi::World world(cluster, cluster.params().mpi_ibm, "ibm");
   std::vector<double> out(count, 0.0);
-  auto& mem = cluster.node(0).mem;
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count, 1.0 * t.rank);
     co_await world.comm(t.rank).reduce(mine.data(), out.data(), count,
                                        coll::Dtype::f64, coll::RedOp::sum,
                                        0);
   });
-  return {mem.copies(), mem.combines(), mem.copy_bytes()};
+  obs::Counter copy = cluster.obs().total("mem.copy");
+  obs::Counter comb = cluster.obs().total("mem.combine");
+  return {copy.count, comb.count, copy.value};
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // Extension benchmark: the collectives beyond the paper's four (scatter,
-// gather, allgather) — SRM vs the era-accurate linear MPI algorithms on 256
-// CPUs. Not a paper figure; demonstrates that the shared+remote-memory
-// methodology carries over to the rest of the common operation set.
+// gather, allgather, reduce_scatter) — SRM vs the era-accurate MPI
+// algorithms on 256 CPUs. Not a paper figure; demonstrates that the
+// shared+remote-memory methodology carries over to the rest of the common
+// operation set.
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -12,8 +13,9 @@ using namespace srm::bench;
 
 int main() {
   std::printf(
-      "Extension: scatter/gather/allgather on 256 CPUs (16 nodes x 16)\n"
-      "per-rank block sizes; baselines use the MPICH-1 linear algorithms\n");
+      "Extension: scatter/gather/allgather/reduce_scatter on 256 CPUs\n"
+      "(16 nodes x 16) per-rank block sizes; baselines use the MPICH-1\n"
+      "algorithms\n");
   std::vector<std::size_t> sizes = {8, 256, 4096, 65536};
   std::vector<std::string> rows;
   for (auto s : sizes) rows.push_back(util::human_bytes(s));
@@ -25,7 +27,8 @@ int main() {
   };
   for (Op op : {Op{"scatter", &Bench::time_scatter},
                 Op{"gather", &Bench::time_gather},
-                Op{"allgather", &Bench::time_allgather}}) {
+                Op{"allgather", &Bench::time_allgather},
+                Op{"reduce_scatter", &Bench::time_reduce_scatter}}) {
     std::vector<std::vector<double>> cells(sizes.size(),
                                            std::vector<double>(3, 0.0));
     for (int ii = 0; ii < 3; ++ii) {

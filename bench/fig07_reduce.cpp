@@ -45,5 +45,13 @@ int main() {
   }
   print_table("Fig 7 (right): reduce on 256 CPUs, 8B-64KB", "bytes", rows2,
               {"SRM", "IBM-MPI", "MPICH"}, cells2, "us");
+
+  // Machine-readable ledger of one instrumented 8-node reduce: the Fig. 2
+  // copy/combine accounting at full scale.
+  {
+    Bench b(Impl::srm, 8, 16);
+    b.time_reduce(2048, 2);
+    b.emit_stats("fig07_reduce");
+  }
   return 0;
 }

@@ -45,5 +45,16 @@ int main() {
   }
   print_table("Fig 8 (right): allreduce on 256 CPUs, 8B-64KB", "bytes",
               rows2, {"SRM", "IBM-MPI", "MPICH"}, cells2, "us");
+
+  // Instrumented large (pipelined, Fig. 5) allreduce with a span trace of
+  // the overlapping pipeline stages.
+  {
+    Bench b(Impl::srm, 8, 16);
+    b.obs().set_trace_enabled(true);
+    b.time_allreduce(20000, 1);
+    b.emit_stats("fig08_allreduce");
+    b.write_chrome_trace("fig08_allreduce.trace.json");
+    std::printf("trace written to fig08_allreduce.trace.json\n");
+  }
   return 0;
 }

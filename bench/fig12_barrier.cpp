@@ -24,5 +24,11 @@ int main() {
   double srm256 = cells.back()[0], ibm256 = cells.back()[1];
   std::printf("\nImprovement over IBM MPI on 256 CPUs: %.0f%% (paper: 73%%)\n",
               100.0 * (1.0 - srm256 / ibm256));
+
+  {
+    Bench b(Impl::srm, 8, 16);
+    b.time_barrier(4);
+    b.emit_stats("fig12_barrier");
+  }
   return 0;
 }

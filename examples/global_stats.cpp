@@ -56,7 +56,7 @@ int main() {
             glo + (ghi - glo) * b / kBuckets;
       }
     }
-    co_await comm.broadcast(t, edges.data(), edges.size() * sizeof(double),
+    co_await comm.bcast(t, edges.data(), edges.size() * sizeof(double),
                             0);
 
     // Local histogram, then a vector reduce of int64 counts.

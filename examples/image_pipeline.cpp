@@ -48,8 +48,8 @@ int main() {
       }
 
       // Distribute row blocks.
-      co_await comm.scatter(t, frame.data(), mine.data(), block,
-                            sizeof(float), 0);
+      co_await comm.scatter(t, frame.data(), mine.data(),
+                            block * sizeof(float), 0);
 
       // Local 1-D blur + local max.
       float local_max = 0.0f;
@@ -67,8 +67,8 @@ int main() {
       for (auto& px : filtered) px /= frame_max;
 
       // Collect the processed frame.
-      co_await comm.gather(t, filtered.data(), frame.data(), block,
-                           sizeof(float), 0);
+      co_await comm.gather(t, filtered.data(), frame.data(),
+                           block * sizeof(float), 0);
 
       if (t.rank == 0) {
         double sum = 0.0;

@@ -36,7 +36,7 @@ int main() {
       std::snprintf(greeting.data(), greeting.size(),
                     "hello from rank 3 (node %d)", t.node());
     }
-    co_await comm.broadcast(t, greeting.data(), greeting.size(), 3);
+    co_await comm.bcast(t, greeting.data(), greeting.size(), 3);
 
     // Everyone contributes rank^2; everyone receives the global sum.
     double mine = static_cast<double>(t.rank) * t.rank;

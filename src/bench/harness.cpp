@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 
 #include "util/format.hpp"
 
@@ -17,86 +19,6 @@ const char* impl_name(Impl i) {
   return "?";
 }
 
-namespace {
-
-class SrmAdapter final : public coll::Collectives {
- public:
-  explicit SrmAdapter(Communicator& c) : c_(&c) {}
-  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
-                    int root) override {
-    return c_->broadcast(t, buf, bytes, root);
-  }
-  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t count, coll::Dtype d, coll::RedOp op,
-                     int root) override {
-    return c_->reduce(t, send, recv, count, d, op, root);
-  }
-  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t count, coll::Dtype d,
-                        coll::RedOp op) override {
-    return c_->allreduce(t, send, recv, count, d, op);
-  }
-  sim::CoTask barrier(machine::TaskCtx& t) override { return c_->barrier(t); }
-  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
-                      std::size_t bytes_per, int root) override {
-    return c_->scatter(t, send, recv, bytes_per, 1, root);
-  }
-  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t bytes_per, int root) override {
-    return c_->gather(t, send, recv, bytes_per, 1, root);
-  }
-  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t bytes_per) override {
-    return c_->allgather(t, send, recv, bytes_per, 1);
-  }
-  std::string name() const override { return "SRM"; }
-
- private:
-  Communicator* c_;
-};
-
-class MpiAdapter final : public coll::Collectives {
- public:
-  MpiAdapter(minimpi::World& w, std::string label)
-      : w_(&w), label_(std::move(label)) {}
-  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
-                    int root) override {
-    return w_->comm(t.rank).bcast(buf, bytes, root);
-  }
-  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t count, coll::Dtype d, coll::RedOp op,
-                     int root) override {
-    return w_->comm(t.rank).reduce(send, recv, count, d, op, root);
-  }
-  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t count, coll::Dtype d,
-                        coll::RedOp op) override {
-    return w_->comm(t.rank).allreduce(send, recv, count, d, op);
-  }
-  sim::CoTask barrier(machine::TaskCtx& t) override {
-    return w_->comm(t.rank).barrier();
-  }
-  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
-                      std::size_t bytes_per, int root) override {
-    return w_->comm(t.rank).scatter(send, recv, bytes_per, root);
-  }
-  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t bytes_per, int root) override {
-    return w_->comm(t.rank).gather(send, recv, bytes_per, root);
-  }
-  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t bytes_per) override {
-    return w_->comm(t.rank).allgather(send, recv, bytes_per);
-  }
-  std::string name() const override { return label_; }
-
- private:
-  minimpi::World* w_;
-  std::string label_;
-};
-
-}  // namespace
-
 Bench::Bench(Impl impl, int nodes, int tasks_per_node, SrmConfig srm_cfg,
              machine::MachineParams params)
     : impl_(impl) {
@@ -109,17 +31,17 @@ Bench::Bench(Impl impl, int nodes, int tasks_per_node, SrmConfig srm_cfg,
     case Impl::srm:
       fabric_ = std::make_unique<lapi::Fabric>(*cluster_);
       srm_ = std::make_unique<Communicator>(*cluster_, *fabric_, srm_cfg);
-      coll_ = std::make_unique<SrmAdapter>(*srm_);
+      coll_ = srm_.get();
       break;
     case Impl::mpi_ibm:
       mpi_ = std::make_unique<minimpi::World>(*cluster_, params.mpi_ibm,
                                               "ibm");
-      coll_ = std::make_unique<MpiAdapter>(*mpi_, "IBM-MPI");
+      coll_ = mpi_.get();
       break;
     case Impl::mpi_mpich:
       mpi_ = std::make_unique<minimpi::World>(*cluster_, params.mpi_mpich,
                                               "mpich");
-      coll_ = std::make_unique<MpiAdapter>(*mpi_, "MPICH");
+      coll_ = mpi_.get();
       break;
   }
 }
@@ -250,6 +172,44 @@ double Bench::time_allgather(std::size_t bytes_per, int iters) {
         co_await c.allgather(t, send.data(), recv.data(), bytes_per);
       },
       iters);
+}
+
+double Bench::time_reduce_scatter(std::size_t bytes_per, int iters) {
+  std::size_t count = std::max<std::size_t>(bytes_per / sizeof(double), 1);
+  return time_collective(
+      [count](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
+        std::size_t total = count * static_cast<std::size_t>(t.nranks());
+        std::vector<double> in(total, 1.0 * t.rank), out(count, 0.0);
+        co_await c.reduce_scatter(t, in.data(), out.data(), count,
+                                  coll::Dtype::f64, coll::RedOp::sum);
+      },
+      iters);
+}
+
+std::string Bench::stats_json(const std::string& bench) const {
+  const auto& topo = cluster_->topology();
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench << "\",\"impl\":\"" << impl_name(impl_)
+     << "\",\"label\":\"" << coll_->label() << "\",\"nodes\":" << topo.nodes()
+     << ",\"tasks_per_node\":" << topo.tasks_per_node()
+     << ",\"virtual_time_us\":" << sim::to_us(cluster_->engine().now())
+     << ",\"events\":" << cluster_->engine().events_processed()
+     << ",\"net\":{\"messages\":" << cluster_->network().messages()
+     << ",\"bytes\":" << cluster_->network().bytes()
+     << "},\"obs\":" << cluster_->obs().counters_json() << "}";
+  return os.str();
+}
+
+void Bench::emit_stats(const std::string& bench) const {
+  std::string json = stats_json(bench);
+  std::printf("BENCH_JSON %s\n", json.c_str());
+  std::ofstream out("BENCH_" + bench + ".json");
+  out << json << "\n";
+}
+
+void Bench::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  out << cluster_->obs().chrome_trace_json() << "\n";
 }
 
 std::vector<std::size_t> size_sweep(std::size_t lo, std::size_t hi) {

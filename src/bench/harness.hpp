@@ -1,8 +1,9 @@
 // Benchmark harness: builds simulated clusters with the paper's testbed
-// shape, adapts SRM and the two mini-MPI baselines to the common Collectives
-// interface, measures collective latency in virtual time (the average of
-// repeated back-to-back calls, as in the paper's 1000-call methodology), and
-// prints figure-shaped tables.
+// shape, drives SRM and the two mini-MPI baselines through the shared
+// coll::Collectives interface (both implement it natively — no adapters),
+// measures collective latency in virtual time (the average of repeated
+// back-to-back calls, as in the paper's 1000-call methodology), prints
+// figure-shaped tables, and exports machine-readable srm::obs stats.
 #pragma once
 
 #include <functional>
@@ -32,6 +33,7 @@ class Bench {
         machine::MachineParams params = machine::MachineParams::ibm_sp());
 
   machine::Cluster& cluster() { return *cluster_; }
+  obs::Registry& obs() { return cluster_->obs(); }
   coll::Collectives& coll() { return *coll_; }
   Impl impl() const { return impl_; }
 
@@ -51,6 +53,20 @@ class Bench {
   double time_scatter(std::size_t bytes_per, int iters = 4);
   double time_gather(std::size_t bytes_per, int iters = 4);
   double time_allgather(std::size_t bytes_per, int iters = 4);
+  double time_reduce_scatter(std::size_t bytes_per, int iters = 4);
+
+  /// Machine-readable stats block: configuration, virtual time, simulator
+  /// event count, network totals, and the full srm::obs counter export.
+  std::string stats_json(const std::string& bench) const;
+
+  /// Print the stats block to stdout (prefixed "BENCH_JSON ") and write it
+  /// to BENCH_<bench>.json in the working directory.
+  void emit_stats(const std::string& bench) const;
+
+  /// Write the recorded span timeline as Chrome trace-event JSON (load in
+  /// chrome://tracing or https://ui.perfetto.dev). Only meaningful when
+  /// obs().set_trace_enabled(true) was on during the run.
+  void write_chrome_trace(const std::string& path) const;
 
  private:
   Impl impl_;
@@ -58,7 +74,7 @@ class Bench {
   std::unique_ptr<lapi::Fabric> fabric_;
   std::unique_ptr<Communicator> srm_;
   std::unique_ptr<minimpi::World> mpi_;
-  std::unique_ptr<coll::Collectives> coll_;
+  coll::Collectives* coll_ = nullptr;  // -> srm_ or mpi_
 };
 
 /// Iteration count that keeps large-message sweeps affordable in real time;

@@ -1,5 +1,12 @@
 // Collectives: the abstract operation set shared by SRM and the mini-MPI
-// baselines, so benchmarks and examples can swap implementations.
+// baselines, so benchmarks, examples, and tests can swap implementations.
+//
+// One signature shape for the whole set:
+//  * byte-oriented ops (bcast, scatter, gather, allgather) size data in
+//    bytes — @p bytes_per is one rank's block for the personalized ops;
+//  * element-oriented ops (reduce, allreduce, reduce_scatter) take an
+//    element count + Dtype + RedOp, since the reduction needs the element
+//    type anyway. reduce_scatter's @p count_per_rank is one rank's share.
 #pragma once
 
 #include <cstddef>
@@ -25,7 +32,8 @@ class Collectives {
                                 RedOp op) = 0;
   virtual sim::CoTask barrier(machine::TaskCtx& t) = 0;
 
-  // Extended operation set (equal counts). @p bytes_per is one rank's block.
+  // Personalized operation set (equal counts). @p bytes_per is one rank's
+  // block.
   virtual sim::CoTask scatter(machine::TaskCtx& t, const void* send,
                               void* recv, std::size_t bytes_per,
                               int root) = 0;
@@ -34,7 +42,14 @@ class Collectives {
   virtual sim::CoTask allgather(machine::TaskCtx& t, const void* send,
                                 void* recv, std::size_t bytes_per) = 0;
 
-  virtual std::string name() const = 0;
+  /// Element-wise reduce of nranks*@p count_per_rank elements; rank r keeps
+  /// block r (@p count_per_rank elements) of the result in @p recv.
+  virtual sim::CoTask reduce_scatter(machine::TaskCtx& t, const void* send,
+                                     void* recv, std::size_t count_per_rank,
+                                     Dtype d, RedOp op) = 0;
+
+  /// Short human-readable implementation tag ("srm", "mpi/ibm", ...).
+  virtual std::string label() const = 0;
 };
 
 }  // namespace srm::coll

@@ -22,6 +22,7 @@ namespace srm {
 sim::CoTask Communicator::allreduce_rd(machine::TaskCtx& t, const void* send,
                                        void* recv, std::size_t count,
                                        coll::Dtype d, coll::RedOp op) {
+  obs::Span span(*t.obs, t.rank, "allreduce.rd");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   std::size_t esize = coll::dtype_size(d);
@@ -86,6 +87,7 @@ sim::CoTask Communicator::allreduce_rd(machine::TaskCtx& t, const void* send,
     lapi::Counter org(*t.eng);
     int round = 0;
     for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+      obs::Span round_span(*t.obs, t.rank, "allreduce.rd.round");
       int newdst = newv ^ mask;
       int dst_node = newdst < rem ? newdst * 2 + 1 : newdst + rem;
       NodeState& part = node_state_of(dst_node);
@@ -127,6 +129,7 @@ sim::CoTask Communicator::allreduce_pipelined(machine::TaskCtx& t,
                                               const void* send, void* recv,
                                               std::size_t count,
                                               coll::Dtype d, coll::RedOp op) {
+  obs::Span span(*t.obs, t.rank, "allreduce.pipeline");
   // Reduce to rank 0 and broadcast from rank 0 run concurrently on every
   // task; at rank 0 the broadcast consumes chunks as the reduce completes
   // them (Fig. 5's four-stage pipeline).

@@ -29,6 +29,7 @@ std::vector<int> bcast_children(const coll::Tree& tree, int node) {
 sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
                                       std::size_t bytes,
                                       const coll::Embedding& emb) {
+  obs::Span span(*t.obs, t.rank, "bcast.small");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   int my_node = t.node();
@@ -151,6 +152,7 @@ sim::CoTask Communicator::bcast_large(machine::TaskCtx& t, void* buf,
                                       const coll::Embedding& emb,
                                       std::size_t chunk,
                                       lapi::Counter* src_gate) {
+  obs::Span span(*t.obs, t.rank, "bcast.large");
   NodeState& ns = node_state(t);
   int my_node = t.node();
   int leader = emb.leader[static_cast<std::size_t>(my_node)];

@@ -157,10 +157,11 @@ Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
 // Public dispatch
 // ---------------------------------------------------------------------------
 
-sim::CoTask Communicator::broadcast(machine::TaskCtx& t, void* buf,
-                                    std::size_t bytes, int root) {
+sim::CoTask Communicator::bcast(machine::TaskCtx& t, void* buf,
+                                std::size_t bytes, int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
   SRM_CHECK(bytes == 0 || buf != nullptr);
+  obs::Span span(*t.obs, t.rank, "srm.bcast");
   rank_state(t).op_seq++;
   if (bytes == 0) co_return;
   coll::Embedding emb =
@@ -182,6 +183,7 @@ sim::CoTask Communicator::reduce(machine::TaskCtx& t, const void* send,
                                  coll::Dtype d, coll::RedOp op, int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
   SRM_CHECK(send != recv);
+  obs::Span span(*t.obs, t.rank, "srm.reduce");
   rank_state(t).op_seq++;
   if (count == 0) co_return;
   // Interrupt management (§2.3): off during small-message collectives on the
@@ -199,6 +201,7 @@ sim::CoTask Communicator::allreduce(machine::TaskCtx& t, const void* send,
                                     void* recv, std::size_t count,
                                     coll::Dtype d, coll::RedOp op) {
   SRM_CHECK(send != recv);
+  obs::Span span(*t.obs, t.rank, "srm.allreduce");
   rank_state(t).op_seq++;
   if (count == 0) co_return;
   std::size_t bytes = count * coll::dtype_size(d);
@@ -214,6 +217,7 @@ sim::CoTask Communicator::allreduce(machine::TaskCtx& t, const void* send,
 }
 
 sim::CoTask Communicator::barrier(machine::TaskCtx& t) {
+  obs::Span span(*t.obs, t.rank, "srm.barrier");
   rank_state(t).op_seq++;
   bool manage = cfg_.manage_interrupts && t.is_master() && t.nnodes() > 1;
   if (manage) ep(t.rank).set_interrupts(false);

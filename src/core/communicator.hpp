@@ -2,7 +2,10 @@
 // directly on shared memory (intra-node) and one-sided RMA (inter-node).
 //
 // Public operations (all blocking, MPI-style semantics):
-//   broadcast, reduce, allreduce, barrier.
+//   bcast, reduce, allreduce, barrier — plus the extended set below. The
+//   whole set is exposed through the shared coll::Collectives interface, so
+//   benches and examples use a Communicator and a mini-MPI World
+//   interchangeably.
 //
 // Construction allocates, per SMP node, the shared structures of §2.2/§2.4:
 //  * the two broadcast buffers A/B with per-process READY flags (Fig. 3);
@@ -24,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/iface.hpp"
 #include "coll/ops.hpp"
 #include "coll/tree.hpp"
 #include "core/config.hpp"
@@ -34,7 +38,7 @@
 
 namespace srm {
 
-class Communicator {
+class Communicator final : public coll::Collectives {
  public:
   /// Collective constructor-equivalent: builds all node-shared state before
   /// the simulation starts. @p name namespaces the shared segments so
@@ -43,21 +47,22 @@ class Communicator {
                SrmConfig cfg = {}, std::string name = "srm0");
 
   /// Broadcast @p bytes from @p root's @p buf into everyone's @p buf.
-  sim::CoTask broadcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
-                        int root);
+  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                    int root) override;
 
   /// Reduce element-wise with @p op; the result lands in @p recv at @p root
   /// (ignored elsewhere). @p send and @p recv must not alias.
   sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
                      std::size_t count, coll::Dtype d, coll::RedOp op,
-                     int root);
+                     int root) override;
 
   /// Reduce + make the result available everywhere.
   sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t count, coll::Dtype d, coll::RedOp op);
+                        std::size_t count, coll::Dtype d,
+                        coll::RedOp op) override;
 
   /// Synchronize all tasks (§2.2/§2.4 barrier).
-  sim::CoTask barrier(machine::TaskCtx& t);
+  sim::CoTask barrier(machine::TaskCtx& t) override;
 
   // ---- Extension beyond the paper's four operations ----
   //
@@ -66,27 +71,29 @@ class Communicator {
   // two building blocks: RMA puts straight into user buffers between node
   // leaders, and shared-memory slice distribution/assembly inside nodes.
 
-  /// Scatter @p count elements of size @p esize per rank from @p send at
-  /// @p root into everyone's @p recv. The root leader puts each node's block
-  /// into that node's landing buffers; local tasks copy out their slice.
+  /// Scatter one @p bytes_per block per rank from @p send at @p root into
+  /// everyone's @p recv. The root leader puts each node's block into that
+  /// node's landing buffers; local tasks copy out their slice.
   sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
-                      std::size_t count, std::size_t esize, int root);
+                      std::size_t bytes_per, int root) override;
 
-  /// Gather @p count elements per rank into @p recv at @p root (rank order).
+  /// Gather @p bytes_per per rank into @p recv at @p root (rank order).
   /// The root announces its receive buffer; node leaders assemble their
   /// node block in shared staging and put it straight into place.
   sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t count, std::size_t esize, int root);
+                     std::size_t bytes_per, int root) override;
 
   /// Allgather: every rank ends with all blocks (gather to 0 + broadcast).
   sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t count, std::size_t esize);
+                        std::size_t bytes_per) override;
 
   /// Reduce-scatter with equal blocks: element-wise reduce, then scatter of
   /// the @p count_per_rank-element blocks.
   sim::CoTask reduce_scatter(machine::TaskCtx& t, const void* send,
                              void* recv, std::size_t count_per_rank,
-                             coll::Dtype d, coll::RedOp op);
+                             coll::Dtype d, coll::RedOp op) override;
+
+  std::string label() const override { return "srm"; }
 
   const SrmConfig& config() const noexcept { return cfg_; }
   const std::string& name() const noexcept { return name_; }

@@ -26,11 +26,12 @@
 namespace srm {
 
 sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
-                                  void* recv, std::size_t count,
-                                  std::size_t esize, int root) {
+                                  void* recv, std::size_t bytes_per,
+                                  int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
+  obs::Span span(*t.obs, t.rank, "srm.scatter");
   rank_state(t).op_seq++;
-  if (count == 0) co_return;
+  if (bytes_per == 0) co_return;
   SRM_CHECK(recv != nullptr);
 
   NodeState& ns = node_state(t);
@@ -41,7 +42,7 @@ sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
       my_node == root_node ? t.topo->local_of(root) : 0;
   bool is_leader = t.local() == leader_local;
 
-  std::size_t block = count * esize;               // one rank's data
+  std::size_t block = bytes_per;                   // one rank's data
   std::size_t node_block = block * static_cast<std::size_t>(t.nlocal());
   std::size_t chunk = cfg_.smp_buf_bytes;
   std::size_t nchunks = detail::chunk_count(node_block, chunk);
@@ -131,11 +132,12 @@ sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
 }
 
 sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
-                                 void* recv, std::size_t count,
-                                 std::size_t esize, int root) {
+                                 void* recv, std::size_t bytes_per,
+                                 int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
+  obs::Span span(*t.obs, t.rank, "srm.gather");
   rank_state(t).op_seq++;
-  if (count == 0) co_return;
+  if (bytes_per == 0) co_return;
   SRM_CHECK(send != nullptr);
 
   NodeState& ns = node_state(t);
@@ -145,7 +147,7 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
   int leader_local = my_node == root_node ? t.topo->local_of(root) : 0;
   bool is_leader = t.local() == leader_local;
 
-  std::size_t block = count * esize;
+  std::size_t block = bytes_per;
   std::size_t node_block = block * static_cast<std::size_t>(t.nlocal());
   std::size_t chunk = cfg_.smp_buf_bytes;
   std::size_t nchunks = detail::chunk_count(node_block, chunk);
@@ -264,23 +266,24 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
 }
 
 sim::CoTask Communicator::allgather(machine::TaskCtx& t, const void* send,
-                                    void* recv, std::size_t count,
-                                    std::size_t esize) {
-  co_await gather(t, send, recv, count, esize, 0);
-  co_await broadcast(
-      t, recv, count * esize * static_cast<std::size_t>(t.nranks()), 0);
+                                    void* recv, std::size_t bytes_per) {
+  obs::Span span(*t.obs, t.rank, "srm.allgather");
+  co_await gather(t, send, recv, bytes_per, 0);
+  co_await bcast(t, recv, bytes_per * static_cast<std::size_t>(t.nranks()),
+                 0);
 }
 
 sim::CoTask Communicator::reduce_scatter(machine::TaskCtx& t,
                                          const void* send, void* recv,
                                          std::size_t count_per_rank,
                                          coll::Dtype d, coll::RedOp op) {
+  obs::Span span(*t.obs, t.rank, "srm.reduce_scatter");
   std::size_t total = count_per_rank * static_cast<std::size_t>(t.nranks());
   std::vector<std::byte> tmp;
   if (t.rank == 0) tmp.resize(total * coll::dtype_size(d));
   co_await reduce(t, send, t.rank == 0 ? tmp.data() : recv, total, d, op, 0);
-  co_await scatter(t, tmp.data(), recv, count_per_rank, coll::dtype_size(d),
-                   0);
+  co_await scatter(t, tmp.data(), recv,
+                   count_per_rank * coll::dtype_size(d), 0);
 }
 
 }  // namespace srm

@@ -19,6 +19,7 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
                                       void* recv, std::size_t count,
                                       coll::Dtype d, coll::RedOp op, int root,
                                       lapi::Counter* chunk_done) {
+  obs::Span span(*t.obs, t.rank, "reduce.pipeline");
   coll::Embedding emb =
       coll::embed(*t.topo, root, cfg_.internode_tree, cfg_.intranode_tree);
   NodeState& ns = node_state(t);

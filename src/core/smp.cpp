@@ -14,6 +14,7 @@ sim::CoTask Communicator::smp_bcast_chunk(machine::TaskCtx& t,
                                           int leader_local, const void* src,
                                           void* dst, std::size_t len,
                                           const std::byte* shared_src) {
+  obs::Span span(*t.obs, t.rank, "smp.bcast_chunk");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   SRM_CHECK(len <= cfg_.smp_buf_bytes);
@@ -177,6 +178,7 @@ sim::CoTask Communicator::smp_reduce_participant(machine::TaskCtx& t,
                                                  std::size_t count,
                                                  coll::Dtype d,
                                                  coll::RedOp op) {
+  obs::Span span(*t.obs, t.rank, "smp.reduce");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   int me = t.local();
@@ -232,6 +234,7 @@ sim::CoTask Communicator::smp_reduce_chunk_leader(
     machine::TaskCtx& t, const coll::Tree& tree, const void* send, void* dst,
     std::size_t c, std::size_t elem_off, std::size_t elems, coll::Dtype d,
     coll::RedOp op) {
+  obs::Span span(*t.obs, t.rank, "smp.reduce");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   int me = t.local();
@@ -295,6 +298,7 @@ void Communicator::finish_reduce_bookkeeping(machine::TaskCtx& t,
 // ---------------------------------------------------------------------------
 
 sim::CoTask Communicator::smp_barrier_enter(machine::TaskCtx& t) {
+  obs::Span span(*t.obs, t.rank, "barrier.smp");
   NodeState& ns = node_state(t);
   shm::FlagArray& flags = *ns.bar_flag;
   if (t.local() == 0) {

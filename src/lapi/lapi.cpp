@@ -5,7 +5,18 @@
 namespace srm::lapi {
 
 Endpoint::Endpoint(machine::TaskCtx& ctx)
-    : ctx_(&ctx), lp_(&ctx.P->lapi), call_wq_(*ctx.eng) {}
+    : ctx_(&ctx),
+      lp_(&ctx.P->lapi),
+      put_ctr_(ctx.obs != nullptr ? &ctx.obs->counter("lapi.put", ctx.rank)
+                                  : nullptr),
+      signal_ctr_(ctx.obs != nullptr
+                      ? &ctx.obs->counter("lapi.signal", ctx.rank)
+                      : nullptr),
+      am_ctr_(ctx.obs != nullptr ? &ctx.obs->counter("lapi.am", ctx.rank)
+                                 : nullptr),
+      wait_ctr_(ctx.obs != nullptr ? &ctx.obs->counter("lapi.wait", ctx.rank)
+                                   : nullptr),
+      call_wq_(*ctx.eng) {}
 
 void Endpoint::on_arrival(std::function<void()> process) {
   sim::Engine& eng = *ctx_->eng;
@@ -50,6 +61,11 @@ sim::CoTask Endpoint::put(Endpoint& target, void* dst, const void* src,
                           Counter* org_cntr, Counter* cmpl_cntr) {
   SRM_CHECK_MSG(ctx_->node() != target.ctx_->node(),
                 "LAPI put must cross nodes (use shared memory locally)");
+  if (bytes > 0) {
+    if (put_ctr_ != nullptr) put_ctr_->add(static_cast<double>(bytes));
+  } else if (signal_ctr_ != nullptr) {
+    signal_ctr_->add();
+  }
   co_await ctx_->delay(lp_->call_overhead + ctx_->P->net.o_send);
 
   Endpoint* origin = this;
@@ -104,6 +120,7 @@ sim::CoTask Endpoint::put(Endpoint& target, void* dst, const void* src,
 sim::CoTask Endpoint::am(Endpoint& target, std::size_t bytes,
                          std::function<void()> handler) {
   SRM_CHECK(ctx_->node() != target.ctx_->node());
+  if (am_ctr_ != nullptr) am_ctr_->add(static_cast<double>(bytes));
   co_await ctx_->delay(lp_->call_overhead + ctx_->P->net.o_send);
   ctx_->cluster->network().inject(
       ctx_->node(), target.ctx_->node(), static_cast<double>(bytes),
@@ -136,8 +153,11 @@ sim::CoTask Endpoint::wait_cntr(Counter& c, std::uint64_t value) {
   co_await ctx_->delay(lp_->call_overhead);
   ++in_call_;
   drain_pending();
+  sim::Time blocked_from = ctx_->eng->now();
   co_await c.wq_.wait_until([&c, value] { return c.value_ >= value; });
   c.value_ -= value;
+  if (wait_ctr_ != nullptr)
+    wait_ctr_->add(static_cast<double>(ctx_->eng->now() - blocked_from));
   --in_call_;
 }
 

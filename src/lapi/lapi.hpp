@@ -121,6 +121,13 @@ class Endpoint {
 
   machine::TaskCtx* ctx_;
   const machine::LapiParams* lp_;
+  // Observability cells, resolved once per endpoint (keyed by origin rank):
+  // data puts / zero-byte signals / active messages (value = bytes) and
+  // Waitcntr stalls (value = virtual ns blocked).
+  obs::Counter* put_ctr_;
+  obs::Counter* signal_ctr_;
+  obs::Counter* am_ctr_;
+  obs::Counter* wait_ctr_;
   // Depth, not bool: SRM's pipelined collectives overlap protocol phases on
   // the master task (Fig. 5), so one task may be parked in two Waitcntr
   // calls; the dispatcher polls as long as any of them is active.

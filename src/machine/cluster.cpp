@@ -12,10 +12,11 @@ sim::CoTask TaskCtx::copy(void* dst, const void* src, std::size_t bytes) const {
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg),
       topo_(cfg.nodes, cfg.tasks_per_node),
-      net_(eng_, cfg.params.net, cfg.nodes) {
+      obs_(eng_),
+      net_(eng_, cfg.params.net, cfg.nodes, &obs_) {
   nodes_.reserve(static_cast<std::size_t>(cfg.nodes));
   for (int n = 0; n < cfg.nodes; ++n) {
-    nodes_.push_back(std::make_unique<Node>(n, eng_, cfg.params.mem));
+    nodes_.push_back(std::make_unique<Node>(n, eng_, cfg.params.mem, obs_));
   }
   ctxs_.resize(static_cast<std::size_t>(topo_.nranks()));
   for (int r = 0; r < topo_.nranks(); ++r) {
@@ -26,6 +27,7 @@ Cluster::Cluster(ClusterConfig cfg)
     c.P = &cfg_.params;
     c.nd = nodes_[static_cast<std::size_t>(topo_.node_of(r))].get();
     c.topo = &topo_;
+    c.obs = &obs_;
   }
 }
 

@@ -15,6 +15,7 @@
 #include "machine/network.hpp"
 #include "machine/params.hpp"
 #include "machine/topology.hpp"
+#include "obs/obs.hpp"
 #include "shm/segment.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
@@ -23,8 +24,8 @@ namespace srm::machine {
 
 /// One SMP node: a memory cost model plus a shared-memory segment.
 struct Node {
-  Node(int id_, sim::Engine& eng, const MemoryParams& p)
-      : id(id_), mem(eng, p) {}
+  Node(int id_, sim::Engine& eng, const MemoryParams& p, obs::Registry& reg)
+      : id(id_), mem(eng, p, &reg, id_) {}
   int id;
   MemorySystem mem;
   shm::Segment seg;
@@ -46,6 +47,7 @@ struct TaskCtx {
   const MachineParams* P = nullptr;
   Node* nd = nullptr;
   const Topology* topo = nullptr;
+  obs::Registry* obs = nullptr;
 
   int nranks() const { return topo->nranks(); }
   int node() const { return topo->node_of(rank); }
@@ -74,6 +76,7 @@ class Cluster {
   void run(const Program& program);
 
   sim::Engine& engine() noexcept { return eng_; }
+  obs::Registry& obs() noexcept { return obs_; }
   Network& network() noexcept { return net_; }
   const Topology& topology() const noexcept { return topo_; }
   const MachineParams& params() const noexcept { return cfg_.params; }
@@ -84,6 +87,7 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Engine eng_;
   Topology topo_;
+  obs::Registry obs_;
   Network net_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<TaskCtx> ctxs_;

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "machine/params.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
@@ -21,15 +22,23 @@ namespace srm::machine {
 
 class MemorySystem {
  public:
-  MemorySystem(sim::Engine& eng, const MemoryParams& p)
+  /// @p reg/@p node: the observability registry cell ("mem.copy" /
+  /// "mem.combine" under this node id) the model reports into; counter
+  /// references are resolved once here, off the hot path.
+  MemorySystem(sim::Engine& eng, const MemoryParams& p,
+               obs::Registry* reg = nullptr, int node = 0)
       : eng_(&eng),
         p_(p),
-        bus_(eng, p.bus_bw_total, p.copy_bw_per_cpu) {}
+        bus_(eng, p.bus_bw_total, p.copy_bw_per_cpu),
+        copy_ctr_(reg != nullptr ? &reg->counter("mem.copy", node) : nullptr),
+        combine_ctr_(reg != nullptr ? &reg->counter("mem.combine", node)
+                                    : nullptr) {}
 
   /// Virtual-time cost of copying @p bytes (startup + contended stream).
   sim::CoTask charge_copy(double bytes) {
     ++copies_;
     copy_bytes_ += bytes;
+    if (copy_ctr_ != nullptr) copy_ctr_->add(bytes);
     co_await eng_->sleep(p_.copy_startup);
     co_await bus_.transfer(bytes);
   }
@@ -38,6 +47,7 @@ class MemorySystem {
   sim::CoTask charge_combine(double bytes) {
     ++combines_;
     combine_bytes_ += bytes;
+    if (combine_ctr_ != nullptr) combine_ctr_->add(bytes);
     co_await eng_->sleep(p_.copy_startup);
     co_await bus_.transfer(bytes);
     // Extra compute time beyond what the memory stream already charged.
@@ -60,6 +70,8 @@ class MemorySystem {
   sim::Engine* eng_;
   MemoryParams p_;
   sim::FairShareResource bus_;
+  obs::Counter* copy_ctr_;
+  obs::Counter* combine_ctr_;
   std::uint64_t copies_ = 0;
   std::uint64_t combines_ = 0;
   double copy_bytes_ = 0.0;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "machine/params.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "util/check.hpp"
@@ -27,11 +28,20 @@ namespace srm::machine {
 
 class Network {
  public:
-  Network(sim::Engine& eng, const NetworkParams& p, int nnodes)
+  /// @p reg: optional observability registry; injections report into the
+  /// "net.msg" metric keyed by source node.
+  Network(sim::Engine& eng, const NetworkParams& p, int nnodes,
+          obs::Registry* reg = nullptr)
       : eng_(&eng),
         p_(p),
         egress_free_(static_cast<std::size_t>(nnodes), 0),
-        ingress_free_(static_cast<std::size_t>(nnodes), 0) {}
+        ingress_free_(static_cast<std::size_t>(nnodes), 0) {
+    if (reg != nullptr) {
+      msg_ctr_.reserve(static_cast<std::size_t>(nnodes));
+      for (int n = 0; n < nnodes; ++n)
+        msg_ctr_.push_back(&reg->counter("net.msg", n));
+    }
+  }
 
   struct InjectResult {
     sim::Time egress_end;  ///< origin buffer fully injected (reusable)
@@ -55,6 +65,8 @@ class Network {
     inf = delivery;
     ++messages_;
     bytes_ += bytes;
+    if (!msg_ctr_.empty())
+      msg_ctr_[static_cast<std::size_t>(src_node)]->add(bytes);
     eng_->call_at(delivery, std::move(deliver));
     return InjectResult{ef, delivery};
   }
@@ -68,6 +80,7 @@ class Network {
   NetworkParams p_;
   std::vector<sim::Time> egress_free_;
   std::vector<sim::Time> ingress_free_;
+  std::vector<obs::Counter*> msg_ctr_;
   std::uint64_t messages_ = 0;
   double bytes_ = 0;
 };

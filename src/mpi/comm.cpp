@@ -38,6 +38,14 @@ Comm::Comm(World& world, machine::TaskCtx& ctx)
     : world_(&world),
       ctx_(&ctx),
       mp_(&world.profile()),
+      shm_ctr_(ctx.obs != nullptr ? &ctx.obs->counter("mpi.send.shm", ctx.rank)
+                                  : nullptr),
+      eager_ctr_(ctx.obs != nullptr
+                     ? &ctx.obs->counter("mpi.send.eager", ctx.rank)
+                     : nullptr),
+      rndv_ctr_(ctx.obs != nullptr
+                    ? &ctx.obs->counter("mpi.send.rndv", ctx.rank)
+                    : nullptr),
       arrival_wq_(*ctx.eng) {}
 
 void Comm::enqueue(Envelope env) {
@@ -55,10 +63,13 @@ sim::CoTask Comm::send(int dst, int tag, const void* buf, std::size_t bytes) {
   co_await ctx_->delay(mp_->call_overhead);
   Comm& target = world_->comm(dst);
   if (ctx_->topo->same_node(rank(), dst)) {
+    if (shm_ctr_ != nullptr) shm_ctr_->add(static_cast<double>(bytes));
     co_await send_shm(target, tag, buf, bytes);
   } else if (bytes <= world_->eager_limit()) {
+    if (eager_ctr_ != nullptr) eager_ctr_->add(static_cast<double>(bytes));
     co_await send_eager(target, tag, buf, bytes);
   } else {
+    if (rndv_ctr_ != nullptr) rndv_ctr_->add(static_cast<double>(bytes));
     co_await send_rndv(target, tag, buf, bytes);
   }
 }
@@ -438,6 +449,61 @@ sim::CoTask Comm::reduce_scatter(const void* sendbuf, void* recvbuf,
                   0);
   co_await scatter(tmp.data(), recvbuf, count_per_rank * coll::dtype_size(d),
                    0);
+}
+
+// ---------------------------------------------------------------------------
+// World: the Collectives face — forward to the calling rank's Comm under an
+// "mpi.*" span.
+// ---------------------------------------------------------------------------
+
+sim::CoTask World::bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                         int root) {
+  obs::Span span(*t.obs, t.rank, "mpi.bcast");
+  co_await comm(t.rank).bcast(buf, bytes, root);
+}
+
+sim::CoTask World::reduce(machine::TaskCtx& t, const void* send, void* recv,
+                          std::size_t count, coll::Dtype d, coll::RedOp op,
+                          int root) {
+  obs::Span span(*t.obs, t.rank, "mpi.reduce");
+  co_await comm(t.rank).reduce(send, recv, count, d, op, root);
+}
+
+sim::CoTask World::allreduce(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t count, coll::Dtype d,
+                             coll::RedOp op) {
+  obs::Span span(*t.obs, t.rank, "mpi.allreduce");
+  co_await comm(t.rank).allreduce(send, recv, count, d, op);
+}
+
+sim::CoTask World::barrier(machine::TaskCtx& t) {
+  obs::Span span(*t.obs, t.rank, "mpi.barrier");
+  co_await comm(t.rank).barrier();
+}
+
+sim::CoTask World::scatter(machine::TaskCtx& t, const void* send, void* recv,
+                           std::size_t bytes_per, int root) {
+  obs::Span span(*t.obs, t.rank, "mpi.scatter");
+  co_await comm(t.rank).scatter(send, recv, bytes_per, root);
+}
+
+sim::CoTask World::gather(machine::TaskCtx& t, const void* send, void* recv,
+                          std::size_t bytes_per, int root) {
+  obs::Span span(*t.obs, t.rank, "mpi.gather");
+  co_await comm(t.rank).gather(send, recv, bytes_per, root);
+}
+
+sim::CoTask World::allgather(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t bytes_per) {
+  obs::Span span(*t.obs, t.rank, "mpi.allgather");
+  co_await comm(t.rank).allgather(send, recv, bytes_per);
+}
+
+sim::CoTask World::reduce_scatter(machine::TaskCtx& t, const void* send,
+                                  void* recv, std::size_t count_per_rank,
+                                  coll::Dtype d, coll::RedOp op) {
+  obs::Span span(*t.obs, t.rank, "mpi.reduce_scatter");
+  co_await comm(t.rank).reduce_scatter(send, recv, count_per_rank, d, op);
 }
 
 // ---------------------------------------------------------------------------

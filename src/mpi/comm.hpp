@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/iface.hpp"
 #include "coll/ops.hpp"
 #include "machine/cluster.hpp"
 #include "sim/task.hpp"
@@ -107,6 +108,10 @@ class Comm {
   World* world_;
   machine::TaskCtx* ctx_;
   const machine::MpiParams* mp_;
+  // Observability cells keyed by sender rank: one per send path.
+  obs::Counter* shm_ctr_;
+  obs::Counter* eager_ctr_;
+  obs::Counter* rndv_ctr_;
 
   // ---- receiver-side state ----
   struct ShmPipe;
@@ -126,8 +131,11 @@ class Comm {
   std::uint64_t coll_seq_ = 0;  // per-rank collective sequence number
 };
 
-/// One Comm per rank plus the shared profile.
-class World {
+/// One Comm per rank plus the shared profile. World is the mini-MPI's face
+/// of the shared Collectives interface: each operation forwards to the
+/// calling rank's Comm (and opens an "mpi.*" span on that rank's timeline),
+/// so benches drive SRM and MPI through the same virtual calls.
+class World final : public coll::Collectives {
  public:
   World(machine::Cluster& cluster, const machine::MpiParams& profile,
         std::string name);
@@ -137,6 +145,27 @@ class World {
   const machine::MpiParams& profile() const noexcept { return profile_; }
   const std::string& name() const noexcept { return name_; }
   std::size_t eager_limit() const noexcept { return eager_limit_; }
+
+  // ---- coll::Collectives ----
+  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                    int root) override;
+  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t count, coll::Dtype d, coll::RedOp op,
+                     int root) override;
+  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t count, coll::Dtype d,
+                        coll::RedOp op) override;
+  sim::CoTask barrier(machine::TaskCtx& t) override;
+  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
+                      std::size_t bytes_per, int root) override;
+  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
+                     std::size_t bytes_per, int root) override;
+  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
+                        std::size_t bytes_per) override;
+  sim::CoTask reduce_scatter(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t count_per_rank,
+                             coll::Dtype d, coll::RedOp op) override;
+  std::string label() const override { return "mpi/" + name_; }
 
  private:
   machine::Cluster* cluster_;

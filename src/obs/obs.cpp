@@ -1,0 +1,217 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <locale>
+#include <sstream>
+
+namespace srm::obs {
+
+namespace {
+
+// Events under one rank are fanned out to at most this many trace lanes;
+// tid = rank * kLaneStride + lane keeps lanes of different ranks disjoint.
+constexpr int kLaneStride = 16;
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON number: integral values print without an exponent so the output is
+// stable and friendly to line-based tooling; everything else gets 15
+// significant digits (ns-in-µs timestamps round-trip exactly).
+std::string num(double v) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  if (std::nearbyint(v) == v && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(15);
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name, int id) {
+  if constexpr (!kEnabled) return dummy_;
+  return counters_[name][id];
+}
+
+Counter Registry::total(const std::string& name) const {
+  Counter sum;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return sum;
+  for (const auto& [id, c] : it->second) {
+    sum.count += c.count;
+    sum.value += c.value;
+  }
+  return sum;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, cells] : counters_) out.push_back(name);
+  return out;
+}
+
+void Registry::reset_counters() {
+  for (auto& [name, cells] : counters_)
+    for (auto& [id, c] : cells) c.reset();
+}
+
+std::size_t Registry::span_begin(int rank, const char* name) {
+  if (!trace_) return kNoSpan;
+  return span_begin(rank, std::string(name));
+}
+
+std::size_t Registry::span_begin(int rank, std::string name) {
+  if (!trace_) return kNoSpan;
+  std::size_t id = spans_.size();
+  spans_.push_back(SpanRec{std::move(name), rank, eng_->now(), eng_->now(),
+                           /*open=*/true});
+  return id;
+}
+
+void Registry::span_end(std::size_t id) {
+  if (id == kNoSpan) return;
+  SRM_CHECK_MSG(id < spans_.size(), "span_end: bad span id");
+  SpanRec& s = spans_[id];
+  SRM_CHECK_MSG(s.open, "span_end: span already closed");
+  s.end = eng_->now();
+  s.open = false;
+}
+
+std::string Registry::counters_json() const {
+  std::ostringstream os;
+  os << "{\"enabled\":" << (kEnabled ? "true" : "false") << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cells] : counters_) {
+    Counter sum = total(name);
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << escape(name) << "\":{\"count\":" << sum.count
+       << ",\"value\":" << num(sum.value) << ",\"per_id\":{";
+    bool f2 = true;
+    for (const auto& [id, c] : cells) {
+      // Registered-but-never-hit cells (every endpoint creates its cells up
+      // front) would drown the export in zeros; the totals above still
+      // reflect them.
+      if (c.count == 0 && c.value == 0.0) continue;
+      if (!f2) os << ",";
+      f2 = false;
+      os << "\"" << id << "\":{\"count\":" << c.count
+         << ",\"value\":" << num(c.value) << "}";
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::chrome_trace_json() const {
+  // Assign each span a lane within its rank. Spans are placed in begin
+  // order (longer first on ties); a span joins the first lane where it is
+  // properly nested inside the lane's innermost still-open span — partial
+  // overlap (the pipelined allreduce's concurrent phases) spills to the
+  // next lane so chrome://tracing never sees mis-nested events.
+  std::vector<std::size_t> order(spans_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     const SpanRec& sa = spans_[a];
+                     const SpanRec& sb = spans_[b];
+                     if (sa.rank != sb.rank) return sa.rank < sb.rank;
+                     if (sa.begin != sb.begin) return sa.begin < sb.begin;
+                     return sa.end > sb.end;
+                   });
+
+  std::vector<int> lane(spans_.size(), 0);
+  int cur_rank = -1;
+  // One open-span stack of end times per lane of the current rank.
+  std::vector<std::vector<sim::Time>> lanes;
+  sim::Time now = eng_->now();
+  auto end_of = [&](const SpanRec& s) { return s.open ? now : s.end; };
+  int max_lane = 0;
+  for (std::size_t idx : order) {
+    const SpanRec& s = spans_[idx];
+    if (s.rank != cur_rank) {
+      cur_rank = s.rank;
+      lanes.clear();
+    }
+    sim::Time e = end_of(s);
+    int chosen = -1;
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      auto& stk = lanes[l];
+      while (!stk.empty() && stk.back() <= s.begin) stk.pop_back();
+      if (stk.empty() || e <= stk.back()) {
+        chosen = static_cast<int>(l);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(lanes.size());
+      lanes.emplace_back();
+    }
+    lanes[static_cast<std::size_t>(chosen)].push_back(e);
+    chosen = std::min(chosen, kLaneStride - 1);
+    lane[idx] = chosen;
+    max_lane = std::max(max_lane, chosen);
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata so Perfetto shows "rank N" instead of raw tids.
+  std::vector<std::pair<int, int>> named;  // (rank, lane)
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    auto key = std::make_pair(spans_[i].rank, lane[i]);
+    if (std::find(named.begin(), named.end(), key) == named.end())
+      named.push_back(key);
+  }
+  std::sort(named.begin(), named.end());
+  for (auto [rank, l] : named) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << (rank * kLaneStride + l) << ",\"args\":{\"name\":\"rank " << rank;
+    if (l > 0) os << " (overlap " << l << ")";
+    os << "\"}}";
+  }
+  for (std::size_t idx : order) {
+    const SpanRec& s = spans_[idx];
+    double ts_us = static_cast<double>(s.begin) / 1e3;
+    double dur_us = static_cast<double>(end_of(s) - s.begin) / 1e3;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << escape(s.name)
+       << "\",\"cat\":\"" << (s.open ? "open" : "coll")
+       << "\",\"ph\":\"X\",\"ts\":" << num(ts_us) << ",\"dur\":" << num(dur_us)
+       << ",\"pid\":0,\"tid\":" << (s.rank * kLaneStride + lane[idx]) << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+}  // namespace srm::obs

@@ -1,10 +1,11 @@
 // Data-movement accounting: the paper's §2.2 / Fig. 2 argument, verified
-// quantitatively. "SRM reduce within an SMP node involves a memory copy for
-// processes that are at the lowest level in a binomial tree... For eight
-// processes, there are four memory copies. The remainder of the tree simply
-// involves execution of the operator... the message-passing implementation
-// requires seven data movement operations... [which] might internally
-// involve 7 or even 14 memory copies."
+// quantitatively through the srm::obs counter registry. "SRM reduce within
+// an SMP node involves a memory copy for processes that are at the lowest
+// level in a binomial tree... For eight processes, there are four memory
+// copies. The remainder of the tree simply involves execution of the
+// operator... the message-passing implementation requires seven data
+// movement operations... [which] might internally involve 7 or even 14
+// memory copies."
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -37,32 +38,37 @@ Moves srm_reduce_moves(int p, std::size_t count) {
   lapi::Fabric fabric(cluster);
   Communicator comm(cluster, fabric);
   std::vector<double> out(count, 0.0);
-  auto& mem = cluster.node(0).mem;
-  std::uint64_t c0 = mem.copies(), k0 = mem.combines();
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count, 1.0 * t.rank);
     co_await comm.reduce(t, mine.data(), out.data(), count, coll::Dtype::f64,
                          coll::RedOp::sum, 0);
   });
-  return {mem.copies() - c0, mem.combines() - k0};
+  return {cluster.obs().count("mem.copy"), cluster.obs().count("mem.combine")};
 }
 
 Moves mpi_reduce_moves(int p, std::size_t count) {
   Cluster cluster(one_node(p));
   minimpi::World world(cluster, cluster.params().mpi_ibm, "ibm");
   std::vector<double> out(count, 0.0);
-  auto& mem = cluster.node(0).mem;
-  std::uint64_t c0 = mem.copies(), k0 = mem.combines();
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count, 1.0 * t.rank);
     co_await world.comm(t.rank).reduce(mine.data(), out.data(), count,
                                        coll::Dtype::f64, coll::RedOp::sum,
                                        0);
   });
-  return {mem.copies() - c0, mem.combines() - k0};
+  return {cluster.obs().count("mem.copy"), cluster.obs().count("mem.combine")};
 }
 
-TEST(CopyCounts, Fig2EightTaskSmpReduce) {
+class CopyCounts : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::kEnabled) {
+      GTEST_SKIP() << "built with SRM_OBS=OFF; counters compile to no-ops";
+    }
+  }
+};
+
+TEST_F(CopyCounts, Fig2EightTaskSmpReduce) {
   // The paper's exact example: eight processes, one chunk.
   Moves srm = srm_reduce_moves(8, 100);
   // Four leaf copies (P1, P3, P5, P7); everything else is pure operator
@@ -77,7 +83,7 @@ TEST(CopyCounts, Fig2EightTaskSmpReduce) {
   EXPECT_EQ(mpi.combines, 7u);
 }
 
-TEST(CopyCounts, SmpReduceCopiesEqualLeafCount) {
+TEST_F(CopyCounts, SmpReduceCopiesEqualLeafCount) {
   // Property: one copy per *leaf* of the intranode binomial tree per chunk;
   // interior tasks never copy, they only combine.
   for (int p : {2, 4, 16}) {
@@ -94,21 +100,21 @@ TEST(CopyCounts, SmpReduceCopiesEqualLeafCount) {
   }
 }
 
-TEST(CopyCounts, SmpBcastOneCopyInPlusOnePerConsumer) {
+TEST_F(CopyCounts, SmpBcastOneCopyInPlusOnePerConsumer) {
   Cluster cluster(one_node(8));
   lapi::Fabric fabric(cluster);
   Communicator comm(cluster, fabric);
-  auto& mem = cluster.node(0).mem;
-  std::uint64_t c0 = mem.copies();
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<char> buf(1024, static_cast<char>(t.rank == 0));
-    co_await comm.broadcast(t, buf.data(), buf.size(), 0);
+    co_await comm.bcast(t, buf.data(), buf.size(), 0);
   });
   // Root copies into the shared buffer; 7 consumers copy out.
-  EXPECT_EQ(mem.copies() - c0, 8u);
+  EXPECT_EQ(cluster.obs().count("mem.copy"), 8u);
+  // Every moved byte is accounted: 8 copies x 1 KiB.
+  EXPECT_DOUBLE_EQ(cluster.obs().value("mem.copy"), 8 * 1024.0);
 }
 
-TEST(CopyCounts, SrmMovesLessDataThanMpiAcrossTheBoard) {
+TEST_F(CopyCounts, SrmMovesLessDataThanMpiAcrossTheBoard) {
   for (int p : {4, 8, 16}) {
     Moves s = srm_reduce_moves(p, 500);
     Moves m = mpi_reduce_moves(p, 500);
@@ -116,21 +122,51 @@ TEST(CopyCounts, SrmMovesLessDataThanMpiAcrossTheBoard) {
   }
 }
 
-TEST(CopyCounts, NetworkBytesMatchProtocol) {
-  // Inter-node: a 1 KiB broadcast on 4 nodes moves 3 data puts + 3 credit
-  // signals and nothing else.
+TEST_F(CopyCounts, NetworkBytesMatchProtocol) {
+  // Inter-node: a 1 KiB broadcast on 4 nodes is 3 data puts (one per child
+  // edge of the internode tree) plus 3 zero-byte credit signals back, and
+  // nothing else. The LAPI-layer counters split the two.
   ClusterConfig cc;
   cc.nodes = 4;
   cc.tasks_per_node = 4;
   Cluster cluster(cc);
   lapi::Fabric fabric(cluster);
   Communicator comm(cluster, fabric);
-  double b0 = cluster.network().bytes();
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<char> buf(1024, static_cast<char>(t.rank == 0));
-    co_await comm.broadcast(t, buf.data(), buf.size(), 0);
+    co_await comm.bcast(t, buf.data(), buf.size(), 0);
   });
-  EXPECT_DOUBLE_EQ(cluster.network().bytes() - b0, 3 * 1024.0);
+  EXPECT_EQ(cluster.obs().count("lapi.put"), 3u);
+  EXPECT_DOUBLE_EQ(cluster.obs().value("lapi.put"), 3 * 1024.0);
+  EXPECT_EQ(cluster.obs().count("lapi.signal"), 3u);
+  EXPECT_DOUBLE_EQ(cluster.network().bytes(), 3 * 1024.0);
+}
+
+TEST_F(CopyCounts, PerNodeAttribution) {
+  // Counters are keyed by id: an intra-node reduce on node 0 of a two-node
+  // cluster must charge node 0 only... unless the op spans nodes, in which
+  // case every node's memory system shows traffic. Run a 2-node reduce and
+  // check the per-node split covers the total.
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.tasks_per_node = 4;
+  Cluster cluster(cc);
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  std::vector<double> out(64, 0.0);
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<double> mine(64, 1.0 * t.rank);
+    co_await comm.reduce(t, mine.data(), out.data(), 64, coll::Dtype::f64,
+                         coll::RedOp::sum, 0);
+  });
+  auto& reg = cluster.obs();
+  std::uint64_t total = reg.count("mem.copy");
+  std::uint64_t split = reg.counter("mem.copy", 0).count +
+                        reg.counter("mem.copy", 1).count;
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(total, split);
+  EXPECT_GT(reg.counter("mem.copy", 0).count, 0u);
+  EXPECT_GT(reg.counter("mem.copy", 1).count, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,364 @@
+// srm::obs unit tests: counter accumulation and reset, span recording on
+// the virtual clock, lane assignment for overlapping spans, and
+// well-formedness of both JSON exporters (checked with a tiny
+// recursive-descent JSON validator — no external parser available).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/communicator.hpp"
+#include "obs/obs.hpp"
+#include "sim/engine.hpp"
+
+namespace srm {
+namespace {
+
+using machine::Cluster;
+using machine::ClusterConfig;
+using machine::TaskCtx;
+using sim::CoTask;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (strict enough for our exporters: no NaN/Inf, no
+// trailing commas, double-quoted keys).
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() || !std::isxdigit(s_[pos_++])) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(peek())) return false;
+    while (std::isdigit(peek())) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(peek())) return false;
+      while (std::isdigit(peek())) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(peek())) return false;
+      while (std::isdigit(peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounter, AddAccumulatesCountAndValue) {
+  obs::Counter c;
+  c.add(100.0);
+  c.add();
+  c.add(28.0);
+  if (obs::kEnabled) {
+    EXPECT_EQ(c.count, 3u);
+    EXPECT_DOUBLE_EQ(c.value, 128.0);
+  } else {
+    EXPECT_EQ(c.count, 0u);
+    EXPECT_DOUBLE_EQ(c.value, 0.0);
+  }
+  c.reset();
+  EXPECT_EQ(c.count, 0u);
+  EXPECT_DOUBLE_EQ(c.value, 0.0);
+}
+
+TEST(ObsRegistry, TotalsAcrossIds) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.counter("mem.copy", 0).add(64.0);
+  reg.counter("mem.copy", 3).add(32.0);
+  reg.counter("mem.copy", 3).add(32.0);
+  reg.counter("lapi.put", 1).add(8.0);
+  EXPECT_EQ(reg.count("mem.copy"), 3u);
+  EXPECT_DOUBLE_EQ(reg.value("mem.copy"), 128.0);
+  EXPECT_EQ(reg.counter("mem.copy", 3).count, 2u);
+  EXPECT_EQ(reg.count("lapi.put"), 1u);
+  EXPECT_EQ(reg.count("never.touched"), 0u);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"lapi.put", "mem.copy"}));
+}
+
+TEST(ObsRegistry, ResetKeepsCachedReferencesValid) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  obs::Counter& cached = reg.counter("net.msg", 7);
+  cached.add(1024.0);
+  EXPECT_EQ(reg.count("net.msg"), 1u);
+  reg.reset_counters();
+  EXPECT_EQ(reg.count("net.msg"), 0u);
+  cached.add(2048.0);  // the pre-reset reference must still be live
+  EXPECT_EQ(reg.count("net.msg"), 1u);
+  EXPECT_DOUBLE_EQ(reg.value("net.msg"), 2048.0);
+}
+
+TEST(ObsRegistry, DisabledBuildIsInert) {
+  if (obs::kEnabled) GTEST_SKIP() << "SRM_OBS=ON";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.counter("mem.copy", 0).add(64.0);
+  EXPECT_EQ(reg.count("mem.copy"), 0u);
+  reg.set_trace_enabled(true);  // cannot be forced on in the disabled build
+  EXPECT_FALSE(reg.trace_enabled());
+  EXPECT_EQ(reg.span_begin(0, "x"), obs::Registry::kNoSpan);
+  EXPECT_TRUE(reg.spans().empty());
+  EXPECT_TRUE(JsonChecker(reg.counters_json()).valid());
+  EXPECT_TRUE(JsonChecker(reg.chrome_trace_json()).valid());
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpan, TraceDisabledByDefault) {
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  EXPECT_FALSE(reg.trace_enabled());
+  EXPECT_EQ(reg.span_begin(0, "srm.bcast"), obs::Registry::kNoSpan);
+  reg.span_end(obs::Registry::kNoSpan);  // must be a harmless no-op
+  EXPECT_TRUE(reg.spans().empty());
+}
+
+TEST(ObsSpan, RecordsVirtualTimesAndNesting) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.set_trace_enabled(true);
+  std::size_t outer = obs::Registry::kNoSpan;
+  std::size_t inner = obs::Registry::kNoSpan;
+  eng.call_at(sim::us(10), [&] { outer = reg.span_begin(2, "srm.allreduce"); });
+  eng.call_at(sim::us(20), [&] { inner = reg.span_begin(2, "allreduce.rd"); });
+  eng.call_at(sim::us(30), [&] { reg.span_end(inner); });
+  eng.call_at(sim::us(50), [&] { reg.span_end(outer); });
+  eng.run();
+  ASSERT_EQ(reg.spans().size(), 2u);
+  const obs::SpanRec& o = reg.spans()[0];
+  const obs::SpanRec& i = reg.spans()[1];
+  EXPECT_EQ(o.name, "srm.allreduce");
+  EXPECT_EQ(o.rank, 2);
+  EXPECT_EQ(o.begin, sim::us(10));
+  EXPECT_EQ(o.end, sim::us(50));
+  EXPECT_FALSE(o.open);
+  EXPECT_EQ(i.name, "allreduce.rd");
+  EXPECT_EQ(i.begin, sim::us(20));
+  EXPECT_EQ(i.end, sim::us(30));
+  // Proper nesting: the inner span lies inside the outer one.
+  EXPECT_GE(i.begin, o.begin);
+  EXPECT_LE(i.end, o.end);
+}
+
+TEST(ObsSpan, RaiiSpanClosesOnScopeExit) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.set_trace_enabled(true);
+  {
+    obs::Span s(reg, 1, "srm.barrier");
+    ASSERT_EQ(reg.spans().size(), 1u);
+    EXPECT_TRUE(reg.spans()[0].open);
+  }
+  ASSERT_EQ(reg.spans().size(), 1u);
+  EXPECT_FALSE(reg.spans()[0].open);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(ObsExport, CountersJsonWellFormed) {
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.counter("mem.copy", 0).add(1024.0);
+  reg.counter("lapi.put", 5).add(0.5);  // fractional values must round-trip
+  reg.counter("weird\"name\\n", 1).add();  // exerciser for string escaping
+  std::string json = reg.counters_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"enabled\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  if (obs::kEnabled) {
+    EXPECT_NE(json.find("mem.copy"), std::string::npos);
+  }
+}
+
+TEST(ObsExport, ChromeTraceWellFormedWithLanesForOverlap) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.set_trace_enabled(true);
+  // Rank 0: two properly nested spans -> same lane. Rank 1: two overlapping
+  // but non-nested spans (the pipelined-allreduce shape) -> distinct lanes.
+  std::size_t a = 0, b = 0, c = 0, d = 0;
+  eng.call_at(sim::us(0), [&] { a = reg.span_begin(0, "srm.bcast"); });
+  eng.call_at(sim::us(1), [&] { b = reg.span_begin(0, "bcast.small"); });
+  eng.call_at(sim::us(2), [&] { reg.span_end(b); });
+  eng.call_at(sim::us(3), [&] { reg.span_end(a); });
+  eng.call_at(sim::us(0), [&] { c = reg.span_begin(1, "reduce.pipeline"); });
+  eng.call_at(sim::us(2), [&] { d = reg.span_begin(1, "bcast.large"); });
+  eng.call_at(sim::us(4), [&] { reg.span_end(c); });
+  eng.call_at(sim::us(6), [&] { reg.span_end(d); });
+  eng.run();
+
+  std::string json = reg.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Rank 0's nested pair shares tid 0; rank 1's overlap forces lane 17
+  // (= 1 * kLaneStride + 1) next to its base lane 16.
+  EXPECT_NE(json.find("\"tid\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":17"), std::string::npos);
+  EXPECT_EQ(json.find("\"tid\":1,"), std::string::npos);
+}
+
+TEST(ObsExport, OpenSpansClampedAndTagged) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.set_trace_enabled(true);
+  eng.call_at(sim::us(5), [&] { reg.span_begin(0, "srm.reduce"); });
+  eng.call_at(sim::us(9), [] {});
+  eng.run();
+  std::string json = reg.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"cat\":\"open\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a real collective leaves a coherent record.
+// ---------------------------------------------------------------------------
+
+TEST(ObsIntegration, BroadcastLeavesSpansAndCounters) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.tasks_per_node = 4;
+  Cluster cluster(cc);
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  cluster.obs().set_trace_enabled(true);
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<char> buf(2048, static_cast<char>(t.rank == 0));
+    co_await comm.bcast(t, buf.data(), buf.size(), 0);
+  });
+  const auto& spans = cluster.obs().spans();
+  int dispatch_spans = 0;
+  for (const auto& s : spans) {
+    EXPECT_FALSE(s.open) << s.name;
+    EXPECT_LE(s.begin, s.end) << s.name;
+    if (s.name == "srm.bcast") ++dispatch_spans;
+  }
+  EXPECT_EQ(dispatch_spans, 8);  // one per rank
+  EXPECT_GT(cluster.obs().count("mem.copy"), 0u);
+  EXPECT_GT(cluster.obs().count("lapi.put"), 0u);
+  std::string trace = cluster.obs().chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(trace).valid());
+  // Clearing and re-running must not double-report.
+  cluster.obs().clear_spans();
+  EXPECT_TRUE(cluster.obs().spans().empty());
+}
+
+}  // namespace
+}  // namespace srm

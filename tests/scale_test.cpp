@@ -42,7 +42,7 @@ TEST(Scale, AllOpsAt256Cpus) {
         buf[i] = static_cast<char>(i % 251);
       }
     }
-    co_await f.comm.broadcast(t, buf.data(), buf.size(), 37);
+    co_await f.comm.bcast(t, buf.data(), buf.size(), 37);
     for (std::size_t i = 0; i < buf.size(); i += 997) {
       EXPECT_EQ(buf[i], static_cast<char>(i % 251)) << "rank " << t.rank;
     }
@@ -69,7 +69,7 @@ TEST(Scale, AllOpsAt256Cpus) {
     // Allgather one double per rank.
     double me = 2.0 * t.rank;
     std::vector<double> all(256, -1.0);
-    co_await f.comm.allgather(t, &me, all.data(), 1, sizeof(double));
+    co_await f.comm.allgather(t, &me, all.data(), sizeof(double));
     for (int r = 0; r < n; r += 17) {
       EXPECT_EQ(all[static_cast<std::size_t>(r)], 2.0 * r);
     }
@@ -101,7 +101,7 @@ TEST(Scale, SustainedMixAt128Cpus) {
           b[i] = static_cast<char>(i % 127);
         }
       }
-      co_await f.comm.broadcast(t, b.data(), b.size(), root);
+      co_await f.comm.bcast(t, b.data(), b.size(), root);
       EXPECT_EQ(b[b.size() - 1],
                 static_cast<char>((b.size() - 1) % 127));
 

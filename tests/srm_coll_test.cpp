@@ -57,7 +57,7 @@ TEST_P(SrmBcastSize, DeliversRootBytes) {
         buf[i] = static_cast<char>((i * 131 + 17) % 251);
       }
     }
-    co_await f.comm.broadcast(t, buf.data(), bytes, root);
+    co_await f.comm.bcast(t, buf.data(), bytes, root);
   });
   for (int r = 0; r < n; ++r) {
     ASSERT_EQ(bufs[static_cast<std::size_t>(r)], bufs[static_cast<std::size_t>(root)])
@@ -97,7 +97,7 @@ TEST(SrmBcast, EveryRootOnAsymmetricCluster) {
           buf[i] = static_cast<char>((i + static_cast<std::size_t>(root)) % 127);
         }
       }
-      co_await f.comm.broadcast(t, buf.data(), bytes, root);
+      co_await f.comm.bcast(t, buf.data(), bytes, root);
     });
     for (int r = 0; r < 15; ++r) {
       ASSERT_EQ(bufs[static_cast<std::size_t>(r)],
@@ -121,7 +121,7 @@ TEST(SrmBcast, BackToBackAlternatingRootsAndSizes) {
           buf[i] = static_cast<char>((i + k) % 101);
         }
       }
-      co_await f.comm.broadcast(t, buf.data(), sizes[k], root);
+      co_await f.comm.bcast(t, buf.data(), sizes[k], root);
       for (std::size_t i = 0; i < sizes[k]; ++i) {
         EXPECT_EQ(buf[i], static_cast<char>((i + k) % 101))
             << "op " << k << " rank " << t.rank << " byte " << i;
@@ -133,7 +133,7 @@ TEST(SrmBcast, BackToBackAlternatingRootsAndSizes) {
 TEST(SrmBcast, ZeroBytesIsNoOp) {
   Fixture f(2, 2);
   f.cluster.run([&](TaskCtx& t) -> CoTask {
-    co_await f.comm.broadcast(t, nullptr, 0, 0);
+    co_await f.comm.bcast(t, nullptr, 0, 0);
   });
 }
 
@@ -378,7 +378,7 @@ TEST(SrmMixed, InterleavedOperationSequence) {
       if (t.rank == 2) {
         for (std::size_t i = 0; i < v.size(); ++i) v[i] = double(i) + it;
       }
-      co_await f.comm.broadcast(t, v.data(), v.size() * sizeof(double), 2);
+      co_await f.comm.bcast(t, v.data(), v.size() * sizeof(double), 2);
       EXPECT_DOUBLE_EQ(v[999], 999.0 + it);
 
       std::vector<double> sum(1000, 0.0);
@@ -430,7 +430,7 @@ TEST(SrmMixed, MastersOnlyTouchTheNetwork) {
   std::vector<char> buf(1024);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<char> mine(1024, static_cast<char>(t.rank));
-    co_await comm.broadcast(t, mine.data(), 1024, 0);
+    co_await comm.bcast(t, mine.data(), 1024, 0);
   });
   std::uint64_t used = cluster.network().messages() - before;
   // 3 data puts + 3 credit signals.
@@ -454,7 +454,7 @@ TEST(SrmMixed, SmallOpsAvoidInterrupts) {
     cluster.run([&](TaskCtx& t) -> CoTask {
       std::vector<char> buf(512, static_cast<char>(1));
       for (int i = 0; i < 8; ++i) {
-        co_await comm.broadcast(t, buf.data(), buf.size(), 0);
+        co_await comm.bcast(t, buf.data(), buf.size(), 0);
         co_await t.delay(sim::us(200));  // SMP-style busy phase between ops
       }
     });
@@ -474,7 +474,7 @@ TEST(SrmMixed, SingleTaskClusterDegenerates) {
   Fixture f(1, 1);
   f.cluster.run([&](TaskCtx& t) -> CoTask {
     double v = 42.0, s = 0.0;
-    co_await f.comm.broadcast(t, &v, sizeof v, 0);
+    co_await f.comm.bcast(t, &v, sizeof v, 0);
     co_await f.comm.allreduce(t, &v, &s, 1, coll::Dtype::f64,
                               coll::RedOp::sum);
     co_await f.comm.barrier(t);

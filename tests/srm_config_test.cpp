@@ -39,7 +39,7 @@ void exercise(SrmConfig cfg, int nodes = 3, int ppn = 4) {
           buf[i] = static_cast<char>(i % 97);
         }
       }
-      co_await comm.broadcast(t, buf.data(), bytes, root);
+      co_await comm.bcast(t, buf.data(), bytes, root);
       for (std::size_t i = 0; i < bytes; ++i) {
         EXPECT_EQ(buf[i], static_cast<char>(i % 97)) << "bytes " << bytes;
       }
@@ -160,7 +160,7 @@ TEST(SrmApi, InvalidRootThrows) {
   Communicator comm(cluster, fabric);
   char buf[8] = {};
   EXPECT_THROW(cluster.run([&](TaskCtx& t) -> CoTask {
-    co_await comm.broadcast(t, buf, sizeof buf, 5);
+    co_await comm.bcast(t, buf, sizeof buf, 5);
   }),
                util::CheckError);
 }
@@ -188,7 +188,7 @@ TEST(SrmConfig, SingleBufferIsSlowerForPipelinedSizes) {
     cluster.run([&](TaskCtx& t) -> CoTask {
       std::vector<char> buf(24 * 1024, static_cast<char>(t.rank == 0));
       for (int i = 0; i < 3; ++i) {
-        co_await comm.broadcast(t, buf.data(), buf.size(), 0);
+        co_await comm.bcast(t, buf.data(), buf.size(), 0);
       }
     });
     return cluster.engine().now();

@@ -85,7 +85,7 @@ void run_fuzz(std::uint64_t seed, int nodes, int ppn, int nops) {
                                          113);
             }
           }
-          co_await comm.broadcast(t, buf.data(), op.count, op.root);
+          co_await comm.bcast(t, buf.data(), op.count, op.root);
           for (std::size_t i = 0; i < op.count; i += 97) {
             EXPECT_EQ(buf[i],
                       static_cast<char>((i + static_cast<std::size_t>(k)) %
@@ -133,8 +133,8 @@ void run_fuzz(std::uint64_t seed, int nodes, int ppn, int nops) {
             }
           }
           std::vector<double> recv(op.count, -1.0);
-          co_await comm.scatter(t, send.data(), recv.data(), op.count,
-                                sizeof(double), op.root);
+          co_await comm.scatter(t, send.data(), recv.data(),
+                                op.count * sizeof(double), op.root);
           for (std::size_t i = 0; i < op.count; i += 37) {
             EXPECT_EQ(recv[i], value(t.rank, k, i))
                 << "op " << k << " rank " << t.rank;
@@ -153,11 +153,11 @@ void run_fuzz(std::uint64_t seed, int nodes, int ppn, int nops) {
             all.assign(op.count * static_cast<std::size_t>(n), -1.0);
           }
           if (op.kind == OpPlan::gather) {
-            co_await comm.gather(t, mine.data(), all.data(), op.count,
-                                 sizeof(double), op.root);
+            co_await comm.gather(t, mine.data(), all.data(),
+                                 op.count * sizeof(double), op.root);
           } else {
-            co_await comm.allgather(t, mine.data(), all.data(), op.count,
-                                    sizeof(double));
+            co_await comm.allgather(t, mine.data(), all.data(),
+                                    op.count * sizeof(double));
           }
           if (holder) {
             for (int r = 0; r < n; r += 3) {

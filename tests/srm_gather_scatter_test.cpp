@@ -56,8 +56,8 @@ TEST_P(GatherScatterShapes, ScatterDeliversEachBlock) {
       }
     }
     std::vector<double> recv(count, -1.0);
-    co_await f.comm.scatter(t, send.data(), recv.data(), count,
-                            sizeof(double), root);
+    co_await f.comm.scatter(t, send.data(), recv.data(),
+                            count * sizeof(double), root);
     got[static_cast<std::size_t>(t.rank)] = recv;
   });
   for (int r = 0; r < n; ++r) {
@@ -78,8 +78,8 @@ TEST_P(GatherScatterShapes, GatherAssemblesRankOrder) {
     std::vector<double> mine(count);
     for (std::size_t i = 0; i < count; ++i) mine[i] = element(t.rank, i);
     co_await f.comm.gather(t, mine.data(),
-                           t.rank == root ? out.data() : nullptr, count,
-                           sizeof(double), root);
+                           t.rank == root ? out.data() : nullptr,
+                           count * sizeof(double), root);
   });
   for (int r = 0; r < n; ++r) {
     for (std::size_t i = 0; i < count; ++i) {
@@ -99,8 +99,8 @@ TEST_P(GatherScatterShapes, AllgatherEveryoneHasEverything) {
     for (std::size_t i = 0; i < count; ++i) mine[i] = element(t.rank, i);
     std::vector<double> all(count * static_cast<std::size_t>(t.nranks()),
                             -1.0);
-    co_await f.comm.allgather(t, mine.data(), all.data(), count,
-                              sizeof(double));
+    co_await f.comm.allgather(t, mine.data(), all.data(),
+                              count * sizeof(double));
     got[static_cast<std::size_t>(t.rank)] = std::move(all);
   });
   for (int holder = 0; holder < n; ++holder) {
@@ -172,11 +172,11 @@ TEST(SrmGatherScatter, BackToBackMixedRootsAndSizes) {
       if (t.rank == root) {
         all.resize(count * static_cast<std::size_t>(n));
       }
-      co_await f.comm.gather(t, mine.data(), all.data(), count,
-                             sizeof(double), root);
+      co_await f.comm.gather(t, mine.data(), all.data(),
+                             count * sizeof(double), root);
       std::vector<double> back(count, -1.0);
-      co_await f.comm.scatter(t, all.data(), back.data(), count,
-                              sizeof(double), root);
+      co_await f.comm.scatter(t, all.data(), back.data(),
+                              count * sizeof(double), root);
       for (std::size_t i = 0; i < count; i += 11) {
         EXPECT_EQ(back[i], mine[i]) << "round " << round << " rank "
                                     << t.rank;
@@ -190,8 +190,8 @@ TEST(SrmGatherScatter, InterleavedWithOtherCollectives) {
   f.cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(64, 1.0 * t.rank);
     std::vector<double> all(64 * 16, 0.0);
-    co_await f.comm.allgather(t, mine.data(), all.data(), 64,
-                              sizeof(double));
+    co_await f.comm.allgather(t, mine.data(), all.data(),
+                              64 * sizeof(double));
     double s = 0.0, total = 0.0;
     for (double v : all) s += v;
     co_await f.comm.allreduce(t, &s, &total, 1, coll::Dtype::f64,
