@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full correctness gauntlet for the srm simulator. Run from the repo root:
+#
+#   ci/check.sh            # all stages
+#   ci/check.sh fast       # default build + ctest only
+#
+# Stages:
+#   1. default     — release-ish build with SRM_CHK=ON, full ctest
+#   2. sanitize    — ASan+UBSan build, full ctest
+#   3. chk-off     — SRM_CHK=OFF build (checker compiled out), full ctest
+#   4. stress      — schedule-perturbation explorer suites, verbose
+#
+# Each stage uses its own build tree under build-ci/ so a plain `build/`
+# working tree is never clobbered.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_stage() {
+  local name="$1"; shift
+  local dir="build-ci/$name"
+  echo "=== [$name] configure: $* ==="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+  echo "=== [$name] ctest ==="
+  (cd "$dir" && ctest -j "$JOBS" --output-on-failure)
+}
+
+run_stage default -DSRM_CHK=ON
+
+if [[ "$MODE" != "fast" ]]; then
+  run_stage sanitize -DSRM_CHK=ON -DSRM_SANITIZE=address,undefined
+  run_stage chk-off -DSRM_CHK=OFF
+
+  echo "=== [stress] schedule explorer (16+ seeds, all ops, both backends) ==="
+  (cd build-ci/default && ctest -R "ScheduleExplorer|Fig3Mutation" \
+     --output-on-failure)
+fi
+
+echo "=== all stages passed ==="

@@ -23,6 +23,7 @@ sim::CoTask Communicator::allreduce_rd(machine::TaskCtx& t, const void* send,
                                        void* recv, std::size_t count,
                                        coll::Dtype d, coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "allreduce.rd");
+  chk::StageScope stage(t.chk, "allreduce.rd");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   std::size_t esize = coll::dtype_size(d);
@@ -76,6 +77,7 @@ sim::CoTask Communicator::allreduce_rd(machine::TaskCtx& t, const void* send,
     } else {
       co_await my_ep.wait_cntr(*ns.ar_fold_in_arr, 1);
       co_await t.nd->mem.charge_combine(static_cast<double>(bytes));
+      chk::note_read(t.chk, ns.ar_fold_in[parity].data(), bytes);
       coll::combine(op, d, recv, ns.ar_fold_in[parity].data(), count);
       newv = v / 2;
     }
@@ -84,7 +86,7 @@ sim::CoTask Communicator::allreduce_rd(machine::TaskCtx& t, const void* send,
   }
 
   if (newv != -1) {
-    lapi::Counter org(*t.eng);
+    lapi::Counter org(*t.eng, "ar.rd_org@" + std::to_string(t.rank));
     int round = 0;
     for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
       obs::Span round_span(*t.obs, t.rank, "allreduce.rd.round");
@@ -101,6 +103,7 @@ sim::CoTask Communicator::allreduce_rd(machine::TaskCtx& t, const void* send,
       // overwritten after the adapter has read it (origin counter).
       co_await my_ep.wait_cntr(org, 1);
       co_await t.nd->mem.charge_combine(static_cast<double>(bytes));
+      chk::note_read(t.chk, ns.ar_buf[ri][parity].data(), bytes);
       coll::combine(op, d, recv, ns.ar_buf[ri][parity].data(), count);
     }
   }
@@ -109,12 +112,13 @@ sim::CoTask Communicator::allreduce_rd(machine::TaskCtx& t, const void* send,
     if (v % 2 == 0) {
       co_await my_ep.wait_cntr(*ns.ar_fold_out_arr, 1);
       co_await t.nd->mem.charge_copy(static_cast<double>(bytes));
+      chk::note_read(t.chk, ns.ar_fold_out[parity].data(), bytes);
       std::memcpy(recv, ns.ar_fold_out[parity].data(), bytes);
     } else {
       NodeState& part = node_state_of(v - 1);
       // The source is the user's recv buffer: drain the origin counter so
       // the buffer is reusable the moment the operation returns.
-      lapi::Counter fold_org(*t.eng);
+      lapi::Counter fold_org(*t.eng, "ar.fold_org@" + std::to_string(t.rank));
       co_await my_ep.put(master_ep(v - 1), part.ar_fold_out[parity].data(),
                          recv, bytes, part.ar_fold_out_arr.get(), &fold_org);
       co_await my_ep.wait_cntr(fold_org, 1);
@@ -130,6 +134,7 @@ sim::CoTask Communicator::allreduce_pipelined(machine::TaskCtx& t,
                                               std::size_t count,
                                               coll::Dtype d, coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "allreduce.pipeline");
+  chk::StageScope stage(t.chk, "allreduce.pipeline");
   // Reduce to rank 0 and broadcast from rank 0 run concurrently on every
   // task; at rank 0 the broadcast consumes chunks as the reduce completes
   // them (Fig. 5's four-stage pipeline).
@@ -137,7 +142,7 @@ sim::CoTask Communicator::allreduce_pipelined(machine::TaskCtx& t,
       coll::embed(*t.topo, 0, cfg_.internode_tree, cfg_.intranode_tree);
   std::size_t bytes = count * coll::dtype_size(d);
 
-  lapi::Counter chunk_done(*t.eng);
+  lapi::Counter chunk_done(*t.eng, "ar.chunk_done@" + std::to_string(t.rank));
   lapi::Counter* gate = t.rank == 0 ? &chunk_done : nullptr;
 
   auto reduce_done = detail::spawn_joined(

@@ -8,6 +8,7 @@ namespace srm {
 sim::CoTask Communicator::internode_barrier(machine::TaskCtx& t) {
   SRM_CHECK(t.is_master());
   obs::Span span(*t.obs, t.rank, "barrier.inter");
+  chk::StageScope stage(t.chk, "barrier.inter");
   NodeState& ns = node_state(t);
   lapi::Endpoint& my_ep = ep(t.rank);
   int n = t.nnodes();

@@ -30,6 +30,7 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
                                       std::size_t bytes,
                                       const coll::Embedding& emb) {
   obs::Span span(*t.obs, t.rank, "bcast.small");
+  chk::StageScope stage(t.chk, "bcast.small");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   int my_node = t.node();
@@ -82,7 +83,7 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
   lapi::Endpoint& my_ep = ep(t.rank);
   // Puts sourced from the user buffer must have left the adapter before the
   // operation returns (the caller may immediately reuse the buffer).
-  lapi::Counter org(*t.eng);
+  lapi::Counter org(*t.eng, "bcast.org@" + std::to_string(t.rank));
   std::uint64_t org_pending = 0;
 
   for (std::size_t c = 0; c < nchunks; ++c) {
@@ -132,7 +133,7 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
       // READY flag; then tell the parent (Fig. 4 step 3: zero-byte put).
       for (int l = 0; l < ns.nlocal; ++l) {
         if (l == leader_local) continue;
-        co_await (*ns.bc_ready[flag_slot])[l].await_value(0);
+        co_await (*ns.bc_ready[flag_slot])[l].await_value(0, &t.chk);
       }
       int parent_leader = emb.leader[pi];
       NodeState& ps = *nodes_[pi];
@@ -153,6 +154,7 @@ sim::CoTask Communicator::bcast_large(machine::TaskCtx& t, void* buf,
                                       std::size_t chunk,
                                       lapi::Counter* src_gate) {
   obs::Span span(*t.obs, t.rank, "bcast.large");
+  chk::StageScope stage(t.chk, "bcast.large");
   NodeState& ns = node_state(t);
   int my_node = t.node();
   int leader = emb.leader[static_cast<std::size_t>(my_node)];
@@ -188,7 +190,7 @@ sim::CoTask Communicator::bcast_large(machine::TaskCtx& t, void* buf,
   auto kids = bcast_children(emb.internode, my_node);
   // Every put below is sourced from the user buffer (or this frame), so all
   // of them must have left the adapter before the operation returns.
-  lapi::Counter org(*t.eng);
+  lapi::Counter org(*t.eng, "bcast_large.org@" + std::to_string(t.rank));
   std::uint64_t org_pending = 0;
 
   // Stage 1 (initialization): leaves announce their user-buffer address to

@@ -10,14 +10,16 @@ Communicator::NodeState::NodeState(sim::Engine& eng,
                                    const SrmConfig& cfg, shm::Segment& seg,
                                    const std::string& prefix)
     : nlocal(topo.tasks_per_node()), nnodes(topo.nodes()) {
-  auto counter = [&eng] { return std::make_unique<lapi::Counter>(eng); };
+  auto counter = [&eng, &prefix](const std::string& label) {
+    return std::make_unique<lapi::Counter>(eng, prefix + "/" + label);
+  };
 
   // --- SMP broadcast buffers + READY flags (Fig. 3) ---
   for (int b = 0; b < 2; ++b) {
     bc_buf[static_cast<std::size_t>(b)] =
         seg.buffer(prefix + "/bc_buf" + std::to_string(b), cfg.smp_buf_bytes);
-    bc_ready[static_cast<std::size_t>(b)] =
-        std::make_unique<shm::FlagArray>(eng, mp, nlocal);
+    bc_ready[static_cast<std::size_t>(b)] = std::make_unique<shm::FlagArray>(
+        eng, mp, nlocal, 0, prefix + "/bc_ready" + std::to_string(b));
   }
 
   // --- SMP reduce slots + chunk counters ---
@@ -30,13 +32,17 @@ Communicator::NodeState::NodeState(sim::Engine& eng,
           cfg.reduce_chunk));
     }
   }
-  red_published = std::make_unique<shm::FlagArray>(eng, mp, nlocal);
-  for (auto& fa : red_consumed) {
-    fa = std::make_unique<shm::FlagArray>(eng, mp, nlocal);
+  red_published = std::make_unique<shm::FlagArray>(eng, mp, nlocal, 0,
+                                                   prefix + "/red_published");
+  for (int s2 = 0; s2 < 2; ++s2) {
+    red_consumed[static_cast<std::size_t>(s2)] =
+        std::make_unique<shm::FlagArray>(
+            eng, mp, nlocal, 0, prefix + "/red_consumed" + std::to_string(s2));
   }
 
   // --- SMP barrier flags ---
-  bar_flag = std::make_unique<shm::FlagArray>(eng, mp, nlocal);
+  bar_flag = std::make_unique<shm::FlagArray>(eng, mp, nlocal, 0,
+                                              prefix + "/bar_flag");
 
   // --- broadcast network state (per link, see header) ---
   bc_land.resize(static_cast<std::size_t>(nnodes));
@@ -48,19 +54,24 @@ Communicator::NodeState::NodeState(sim::Engine& eng,
           seg.buffer(prefix + "/bc_land" + std::to_string(p) + "_" +
                          std::to_string(s),
                      cfg.smp_buf_bytes);
+      std::string link = std::to_string(p) + "_" + std::to_string(s);
       bc_arrived[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] =
-          counter();
+          counter("bc_arrived" + link);
       auto& cr =
           bc_free[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
-      cr = counter();
+      cr = counter("bc_free" + link);
       cr->set(1);  // both remote landing buffers start free
     }
   }
   bc_addr.assign(static_cast<std::size_t>(nnodes), nullptr);
   bc_addr_arrived.resize(static_cast<std::size_t>(nnodes));
-  for (auto& c : bc_addr_arrived) c = counter();
   bc_large_arrived.resize(static_cast<std::size_t>(nnodes));
-  for (auto& c : bc_large_arrived) c = counter();
+  for (int p = 0; p < nnodes; ++p) {
+    bc_addr_arrived[static_cast<std::size_t>(p)] =
+        counter("bc_addr_arrived" + std::to_string(p));
+    bc_large_arrived[static_cast<std::size_t>(p)] =
+        counter("bc_large_arrived" + std::to_string(p));
+  }
 
   // --- reduce network state ---
   red_land.resize(static_cast<std::size_t>(nnodes));
@@ -72,15 +83,16 @@ Communicator::NodeState::NodeState(sim::Engine& eng,
                          std::to_string(s),
                      cfg.reduce_chunk);
     }
-    red_arrived[static_cast<std::size_t>(c)] = counter();
+    red_arrived[static_cast<std::size_t>(c)] =
+        counter("red_arrived" + std::to_string(c));
   }
-  red_free = counter();
+  red_free = counter("red_free");
   red_free->set(2);  // two landing slots at the parent start free
   for (int s = 0; s < 2; ++s) {
     red_out[static_cast<std::size_t>(s)] = seg.buffer(
         prefix + "/red_out" + std::to_string(s), cfg.reduce_chunk);
   }
-  red_out_org = counter();
+  red_out_org = counter("red_out_org");
 
   // --- allreduce recursive-doubling state ---
   int rounds = nnodes > 1 ? util::log2_ceil(static_cast<unsigned>(nnodes)) : 0;
@@ -93,7 +105,8 @@ Communicator::NodeState::NodeState(sim::Engine& eng,
                          std::to_string(p),
                      cfg.allreduce_rd_max);
     }
-    ar_arrived[static_cast<std::size_t>(r)] = counter();
+    ar_arrived[static_cast<std::size_t>(r)] =
+        counter("ar_arrived" + std::to_string(r));
   }
   for (int p = 0; p < 2; ++p) {
     ar_fold_in[static_cast<std::size_t>(p)] = seg.buffer(
@@ -101,29 +114,37 @@ Communicator::NodeState::NodeState(sim::Engine& eng,
     ar_fold_out[static_cast<std::size_t>(p)] = seg.buffer(
         prefix + "/ar_fold_out" + std::to_string(p), cfg.allreduce_rd_max);
   }
-  ar_fold_in_arr = counter();
-  ar_fold_out_arr = counter();
+  ar_fold_in_arr = counter("ar_fold_in_arr");
+  ar_fold_out_arr = counter("ar_fold_out_arr");
 
   // --- barrier round counters ---
   bar_round.resize(static_cast<std::size_t>(rounds));
-  for (auto& c : bar_round) c = counter();
-  bar_fold_in = counter();
-  bar_fold_out = counter();
+  for (int r = 0; r < rounds; ++r) {
+    bar_round[static_cast<std::size_t>(r)] =
+        counter("bar_round" + std::to_string(r));
+  }
+  bar_fold_in = counter("bar_fold_in");
+  bar_fold_out = counter("bar_fold_out");
 
   // --- gather staging + counters ---
   for (int s = 0; s < 2; ++s) {
     ga_stage[static_cast<std::size_t>(s)] = seg.buffer(
         prefix + "/ga_stage" + std::to_string(s), cfg.smp_buf_bytes);
-    ga_filled[static_cast<std::size_t>(s)] =
-        std::make_unique<shm::SharedFlag>(eng, mp);
-    ga_freed[static_cast<std::size_t>(s)] =
-        std::make_unique<shm::SharedFlag>(eng, mp);
+    ga_filled[static_cast<std::size_t>(s)] = std::make_unique<shm::SharedFlag>(
+        eng, mp, 0, prefix + "/ga_filled" + std::to_string(s));
+    ga_freed[static_cast<std::size_t>(s)] = std::make_unique<shm::SharedFlag>(
+        eng, mp, 0, prefix + "/ga_freed" + std::to_string(s));
   }
   ga_addr.assign(static_cast<std::size_t>(nnodes), nullptr);
   ga_addr_arr.resize(static_cast<std::size_t>(nnodes));
-  for (auto& c : ga_addr_arr) c = counter();
   ga_done.resize(static_cast<std::size_t>(nnodes));
-  for (auto& c : ga_done) c = counter();
+  for (int p = 0; p < nnodes; ++p) {
+    ga_addr_arr[static_cast<std::size_t>(p)] =
+        counter("ga_addr_arr" + std::to_string(p));
+    ga_done[static_cast<std::size_t>(p)] =
+        counter("ga_done" + std::to_string(p));
+  }
+
 }
 
 Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
@@ -162,6 +183,7 @@ sim::CoTask Communicator::bcast(machine::TaskCtx& t, void* buf,
   SRM_CHECK(root >= 0 && root < t.nranks());
   SRM_CHECK(bytes == 0 || buf != nullptr);
   obs::Span span(*t.obs, t.rank, "srm.bcast");
+  chk::StageScope stage(t.chk, "srm.bcast");
   rank_state(t).op_seq++;
   if (bytes == 0) co_return;
   coll::Embedding emb =
@@ -184,6 +206,7 @@ sim::CoTask Communicator::reduce(machine::TaskCtx& t, const void* send,
   SRM_CHECK(root >= 0 && root < t.nranks());
   SRM_CHECK(send != recv);
   obs::Span span(*t.obs, t.rank, "srm.reduce");
+  chk::StageScope stage(t.chk, "srm.reduce");
   rank_state(t).op_seq++;
   if (count == 0) co_return;
   // Interrupt management (§2.3): off during small-message collectives on the
@@ -202,6 +225,7 @@ sim::CoTask Communicator::allreduce(machine::TaskCtx& t, const void* send,
                                     coll::Dtype d, coll::RedOp op) {
   SRM_CHECK(send != recv);
   obs::Span span(*t.obs, t.rank, "srm.allreduce");
+  chk::StageScope stage(t.chk, "srm.allreduce");
   rank_state(t).op_seq++;
   if (count == 0) co_return;
   std::size_t bytes = count * coll::dtype_size(d);
@@ -218,6 +242,7 @@ sim::CoTask Communicator::allreduce(machine::TaskCtx& t, const void* send,
 
 sim::CoTask Communicator::barrier(machine::TaskCtx& t) {
   obs::Span span(*t.obs, t.rank, "srm.barrier");
+  chk::StageScope stage(t.chk, "srm.barrier");
   rank_state(t).op_seq++;
   bool manage = cfg_.manage_interrupts && t.is_master() && t.nnodes() > 1;
   if (manage) ep(t.rank).set_interrupts(false);

@@ -30,6 +30,7 @@ sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
                                   int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
   obs::Span span(*t.obs, t.rank, "srm.scatter");
+  chk::StageScope stage(t.chk, "srm.scatter");
   rank_state(t).op_seq++;
   if (bytes_per == 0) co_return;
   SRM_CHECK(recv != nullptr);
@@ -56,7 +57,7 @@ sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
 
   if (t.rank == root) {
     lapi::Endpoint& my_ep = ep(t.rank);
-    lapi::Counter org(*t.eng);
+    lapi::Counter org(*t.eng, "scatter.org@" + std::to_string(t.rank));
     std::uint64_t org_pending = 0;
     const std::byte* sp = static_cast<const std::byte*>(send);
     // Chunk-major across nodes so all links stream concurrently.
@@ -99,7 +100,7 @@ sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
                                my_hi, static_cast<std::byte*>(recv));
       for (int l = 0; l < ns.nlocal; ++l) {
         if (l == leader_local) continue;
-        co_await (*ns.bc_ready[flag_slot])[l].await_value(0);
+        co_await (*ns.bc_ready[flag_slot])[l].await_value(0, &t.chk);
       }
       co_await my_ep.put_signal(
           ep(root), *nodes_[ri]->bc_free[static_cast<std::size_t>(my_node)]
@@ -136,6 +137,7 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
                                  int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
   obs::Span span(*t.obs, t.rank, "srm.gather");
+  chk::StageScope stage(t.chk, "srm.gather");
   rank_state(t).op_seq++;
   if (bytes_per == 0) co_return;
   SRM_CHECK(send != nullptr);
@@ -168,7 +170,7 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
   if (t.rank == root) {
     SRM_CHECK(recv != nullptr);
     void* addr = recv;
-    lapi::Counter org(*t.eng);
+    lapi::Counter org(*t.eng, "gather.addr_org@" + std::to_string(t.rank));
     std::uint64_t org_pending = 0;
     for (int nd = 0; nd < t.nnodes(); ++nd) {
       if (nd == root_node) continue;
@@ -194,7 +196,7 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
         static_cast<std::byte*>(ns.ga_addr[static_cast<std::size_t>(root_node)]);
   }
 
-  lapi::Counter out_org(*t.eng);
+  lapi::Counter out_org(*t.eng, "gather.out_org@" + std::to_string(t.rank));
   std::deque<std::size_t> inflight_slots;  // staging slots with a put in air
   for (std::size_t c = 0; c < nchunks; ++c) {
     std::size_t off = c * chunk;
@@ -204,16 +206,17 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
 
     // Writer side: wait until all previous occupants of this slot are gone.
     co_await ns.ga_freed[slot]->await_at_least(
-        cfg_.use_two_buffers ? a / 2 : a);
+        cfg_.use_two_buffers ? a / 2 : a, &t.chk);
     std::size_t lo = std::max(my_lo, off);
     std::size_t hi = std::min(my_hi, off + len);
     if (lo < hi) {
       co_await t.nd->mem.charge_copy(static_cast<double>(hi - lo));
+      chk::note_write(t.chk, ns.ga_stage[slot].data() + (lo - off), hi - lo);
       std::memcpy(ns.ga_stage[slot].data() + (lo - off),
                   static_cast<const std::byte*>(send) + (lo - my_lo),
                   hi - lo);
     }
-    ns.ga_filled[slot]->add(1);
+    ns.ga_filled[slot]->add(1, &t.chk);
 
     if (!is_leader) continue;
 
@@ -221,13 +224,14 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
     std::uint64_t prior =
         (cfg_.use_two_buffers ? a / 2 : a) * static_cast<std::uint64_t>(p);
     co_await ns.ga_filled[slot]->await_at_least(
-        prior + static_cast<std::uint64_t>(p));
+        prior + static_cast<std::uint64_t>(p), &t.chk);
     if (my_node == root_node) {
       // The root copies straight into its receive buffer.
       co_await t.nd->mem.charge_copy(static_cast<double>(len));
+      chk::note_read(t.chk, ns.ga_stage[slot].data(), len);
       std::memcpy(static_cast<std::byte*>(recv) + node_base + off,
                   ns.ga_stage[slot].data(), len);
-      ns.ga_freed[slot]->add(1);
+      ns.ga_freed[slot]->add(1, &t.chk);
     } else {
       co_await my_ep.put(ep(root), root_dst + node_base + off,
                          ns.ga_stage[slot].data(), len,
@@ -241,14 +245,14 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
       // oldest put has finished reading.
       if (inflight_slots.size() >= 2) {
         co_await my_ep.wait_cntr(out_org, 1);
-        ns.ga_freed[inflight_slots.front()]->add(1);
+        ns.ga_freed[inflight_slots.front()]->add(1, &t.chk);
         inflight_slots.pop_front();
       }
     }
   }
   while (!inflight_slots.empty()) {
     co_await my_ep.wait_cntr(out_org, 1);
-    ns.ga_freed[inflight_slots.front()]->add(1);
+    ns.ga_freed[inflight_slots.front()]->add(1, &t.chk);
     inflight_slots.pop_front();
   }
 
@@ -268,6 +272,7 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
 sim::CoTask Communicator::allgather(machine::TaskCtx& t, const void* send,
                                     void* recv, std::size_t bytes_per) {
   obs::Span span(*t.obs, t.rank, "srm.allgather");
+  chk::StageScope stage(t.chk, "srm.allgather");
   co_await gather(t, send, recv, bytes_per, 0);
   co_await bcast(t, recv, bytes_per * static_cast<std::size_t>(t.nranks()),
                  0);
@@ -278,6 +283,7 @@ sim::CoTask Communicator::reduce_scatter(machine::TaskCtx& t,
                                          std::size_t count_per_rank,
                                          coll::Dtype d, coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "srm.reduce_scatter");
+  chk::StageScope stage(t.chk, "srm.reduce_scatter");
   std::size_t total = count_per_rank * static_cast<std::size_t>(t.nranks());
   std::vector<std::byte> tmp;
   if (t.rank == 0) tmp.resize(total * coll::dtype_size(d));

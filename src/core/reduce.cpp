@@ -20,6 +20,7 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
                                       coll::Dtype d, coll::RedOp op, int root,
                                       lapi::Counter* chunk_done) {
   obs::Span span(*t.obs, t.rank, "reduce.pipeline");
+  chk::StageScope stage(t.chk, "reduce.pipeline");
   coll::Embedding emb =
       coll::embed(*t.topo, root, cfg_.internode_tree, cfg_.intranode_tree);
   NodeState& ns = node_state(t);
@@ -73,6 +74,8 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
       co_await my_ep.wait_cntr(*ns.red_arrived[ci], 1);
       std::size_t lslot = (rs.red_recvd[ci] + c) % 2;
       co_await t.nd->mem.charge_combine(bytes);
+      chk::note_read(t.chk, ns.red_land[ci][lslot].data(), elems * esize);
+      chk::note_write(t.chk, dst, elems * esize);
       coll::combine(op, d, dst, ns.red_land[ci][lslot].data(), elems);
       // Return the landing-slot credit to the child.
       NodeState& cs = *nodes_[ci];

@@ -15,6 +15,7 @@ sim::CoTask Communicator::smp_bcast_chunk(machine::TaskCtx& t,
                                           void* dst, std::size_t len,
                                           const std::byte* shared_src) {
   obs::Span span(*t.obs, t.rank, "smp.bcast_chunk");
+  chk::StageScope stage(t.chk, "smp.bcast_chunk");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   SRM_CHECK(len <= cfg_.smp_buf_bytes);
@@ -33,6 +34,7 @@ sim::CoTask Communicator::smp_bcast_chunk(machine::TaskCtx& t,
     if (shared_src != nullptr && dst != nullptr) {
       co_await t.nd->mem.charge_copy(static_cast<double>(len));
       std::memcpy(dst, read_buf, len);
+      chk::note_read(t.chk, read_buf, len);
     }
     co_return;
   }
@@ -41,32 +43,36 @@ sim::CoTask Communicator::smp_bcast_chunk(machine::TaskCtx& t,
     // Acquire the flag set: every consumer must have cleared its flag.
     for (int l = 0; l < ns.nlocal; ++l) {
       if (l == leader_local) continue;
-      co_await ready[l].await_value(0);
+      co_await ready[l].await_value(0, &t.chk);
     }
     if (shared_src == nullptr) {
       // Copy the chunk into the shared buffer (skipped when a LAPI put
       // already deposited it in shared memory — the zero-copy case).
       co_await t.nd->mem.charge_copy(static_cast<double>(len));
       std::memcpy(ns.bc_buf[slot].data(), src, len);
+      chk::note_read(t.chk, src, len);
+      chk::note_write(t.chk, ns.bc_buf[slot].data(), len);
     }
     // Set READY for every other process (one cache-line store each).
     co_await t.delay(t.P->mem.flag_poll *
                      static_cast<sim::Duration>(ns.nlocal - 1));
     for (int l = 0; l < ns.nlocal; ++l) {
       if (l == leader_local) continue;
-      ready[l].set(1);
+      ready[l].set(1, &t.chk);
     }
     if (shared_src != nullptr && dst != nullptr) {
       // The leader consumes too: its user copy happens after releasing the
       // other processes so all copies overlap (they contend on the bus).
       co_await t.nd->mem.charge_copy(static_cast<double>(len));
       std::memcpy(dst, read_buf, len);
+      chk::note_read(t.chk, read_buf, len);
     }
   } else {
-    co_await ready[t.local()].await_value(1);
+    co_await ready[t.local()].await_value(1, &t.chk);
     co_await t.nd->mem.charge_copy(static_cast<double>(len));
     std::memcpy(dst, read_buf, len);
-    ready[t.local()].set(0);
+    chk::note_read(t.chk, read_buf, len);
+    ready[t.local()].set(0, &t.chk);
   }
 }
 
@@ -78,6 +84,7 @@ sim::CoTask Communicator::smp_bcast_chunk_tree(machine::TaskCtx& t,
   // down a binomial tree — each process signals its tree children only after
   // finishing its own copy, serializing levels instead of letting the SMP
   // hardware arbitrate concurrent readers.
+  chk::StageScope stage(t.chk, "smp.bcast_tree");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   std::size_t slot = cfg_.use_two_buffers ? rs.smp_bc_seq % 2 : 0;
@@ -90,14 +97,16 @@ sim::CoTask Communicator::smp_bcast_chunk_tree(machine::TaskCtx& t,
   if (t.local() == leader_local) {
     for (int l = 0; l < ns.nlocal; ++l) {
       if (l == leader_local) continue;
-      co_await ready[l].await_value(0);
+      co_await ready[l].await_value(0, &t.chk);
     }
     co_await t.nd->mem.charge_copy(static_cast<double>(len));
     std::memcpy(sbuf, src, len);
+    chk::note_write(t.chk, sbuf, len);
   } else {
-    co_await ready[t.local()].await_value(1);
+    co_await ready[t.local()].await_value(1, &t.chk);
     co_await t.nd->mem.charge_copy(static_cast<double>(len));
     std::memcpy(dst, sbuf, len);
+    chk::note_read(t.chk, sbuf, len);
   }
   // Signal own children, then (non-leaders) mark own flag consumed.
   const auto& kids = tree.children[static_cast<std::size_t>(t.local())];
@@ -105,8 +114,8 @@ sim::CoTask Communicator::smp_bcast_chunk_tree(machine::TaskCtx& t,
     co_await t.delay(t.P->mem.flag_poll *
                      static_cast<sim::Duration>(kids.size()));
   }
-  for (int c : kids) ready[c].set(1);
-  if (t.local() != leader_local) ready[t.local()].set(0);
+  for (int c : kids) ready[c].set(1, &t.chk);
+  if (t.local() != leader_local) ready[t.local()].set(0, &t.chk);
 }
 
 sim::CoTask Communicator::smp_slice_chunk(machine::TaskCtx& t,
@@ -117,6 +126,7 @@ sim::CoTask Communicator::smp_slice_chunk(machine::TaskCtx& t,
                                           std::size_t len, std::size_t my_lo,
                                           std::size_t my_hi,
                                           std::byte* my_dst) {
+  chk::StageScope stage(t.chk, "smp.slice_chunk");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   SRM_CHECK(len <= cfg_.smp_buf_bytes);
@@ -134,6 +144,7 @@ sim::CoTask Communicator::smp_slice_chunk(machine::TaskCtx& t,
       co_await t.nd->mem.charge_copy(static_cast<double>(hi - lo));
       std::memcpy(my_dst + (lo - my_lo), read_buf + (lo - chunk_off),
                   hi - lo);
+      chk::note_read(t.chk, read_buf + (lo - chunk_off), hi - lo);
     }
   };
 
@@ -148,23 +159,24 @@ sim::CoTask Communicator::smp_slice_chunk(machine::TaskCtx& t,
   if (t.local() == leader_local) {
     for (int l = 0; l < ns.nlocal; ++l) {
       if (l == leader_local) continue;
-      co_await ready[l].await_value(0);
+      co_await ready[l].await_value(0, &t.chk);
     }
     if (shared_src == nullptr && fill_src != nullptr) {
       co_await t.nd->mem.charge_copy(static_cast<double>(len));
       std::memcpy(ns.bc_buf[slot].data(), fill_src, len);
+      chk::note_write(t.chk, ns.bc_buf[slot].data(), len);
     }
     co_await t.delay(t.P->mem.flag_poll *
                      static_cast<sim::Duration>(ns.nlocal - 1));
     for (int l = 0; l < ns.nlocal; ++l) {
       if (l == leader_local) continue;
-      ready[l].set(1);
+      ready[l].set(1, &t.chk);
     }
     co_await copy_slice();
   } else {
-    co_await ready[t.local()].await_value(1);
+    co_await ready[t.local()].await_value(1, &t.chk);
     co_await copy_slice();
-    ready[t.local()].set(0);
+    ready[t.local()].set(0, &t.chk);
   }
 }
 
@@ -179,6 +191,7 @@ sim::CoTask Communicator::smp_reduce_participant(machine::TaskCtx& t,
                                                  coll::Dtype d,
                                                  coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "smp.reduce");
+  chk::StageScope stage(t.chk, "smp.reduce");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   int me = t.local();
@@ -195,7 +208,8 @@ sim::CoTask Communicator::smp_reduce_participant(machine::TaskCtx& t,
     // Slot reuse: chunk `abs` shares a slot with chunk `abs - 2`; wait until
     // whoever was leading that operation consumed it (per-slot count).
     if (abs >= 2) {
-      co_await (*ns.red_consumed[abs % 2])[me].await_at_least(abs / 2);
+      co_await (*ns.red_consumed[abs % 2])[me].await_at_least(abs / 2,
+                                                              &t.chk);
     }
     std::byte* slot = ns.red_slot[abs % 2][static_cast<std::size_t>(me)].data();
     const std::byte* mine =
@@ -206,6 +220,7 @@ sim::CoTask Communicator::smp_reduce_participant(machine::TaskCtx& t,
       // Leaf: the one memory copy of Fig. 2.
       co_await t.nd->mem.charge_copy(bytes);
       std::memcpy(slot, mine, elems * esize);
+      chk::note_write(t.chk, slot, elems * esize);
     } else {
       // Interior: fuse own data with the first child straight into the slot,
       // then fold the remaining children in place.
@@ -213,7 +228,8 @@ sim::CoTask Communicator::smp_reduce_participant(machine::TaskCtx& t,
       for (int kid : kids) {
         std::uint64_t kid_abs =
             rs.smp_red_base[static_cast<std::size_t>(kid)] + c;
-        co_await (*ns.red_published)[kid].await_at_least(kid_abs + 1);
+        co_await (*ns.red_published)[kid].await_at_least(kid_abs + 1,
+                                                         &t.chk);
         const std::byte* kslot =
             ns.red_slot[kid_abs % 2][static_cast<std::size_t>(kid)].data();
         co_await t.nd->mem.charge_combine(bytes);
@@ -223,10 +239,12 @@ sim::CoTask Communicator::smp_reduce_participant(machine::TaskCtx& t,
         } else {
           coll::combine(op, d, slot, kslot, elems);
         }
-        (*ns.red_consumed[kid_abs % 2])[kid].add(1);
+        chk::note_read(t.chk, kslot, elems * esize);
+        chk::note_write(t.chk, slot, elems * esize);
+        (*ns.red_consumed[kid_abs % 2])[kid].add(1, &t.chk);
       }
     }
-    (*ns.red_published)[me].add(1);
+    (*ns.red_published)[me].add(1, &t.chk);
   }
 }
 
@@ -235,6 +253,7 @@ sim::CoTask Communicator::smp_reduce_chunk_leader(
     std::size_t c, std::size_t elem_off, std::size_t elems, coll::Dtype d,
     coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "smp.reduce");
+  chk::StageScope stage(t.chk, "smp.reduce_leader");
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   int me = t.local();
@@ -249,12 +268,13 @@ sim::CoTask Communicator::smp_reduce_chunk_leader(
     // Single task on the node: the node result is just our own data.
     co_await t.nd->mem.charge_copy(bytes);
     std::memcpy(dst, mine, elems * esize);
+    chk::note_write(t.chk, dst, elems * esize);
     co_return;
   }
   bool first = true;
   for (int kid : kids) {
     std::uint64_t kid_abs = rs.smp_red_base[static_cast<std::size_t>(kid)] + c;
-    co_await (*ns.red_published)[kid].await_at_least(kid_abs + 1);
+    co_await (*ns.red_published)[kid].await_at_least(kid_abs + 1, &t.chk);
     const std::byte* kslot =
         ns.red_slot[kid_abs % 2][static_cast<std::size_t>(kid)].data();
     co_await t.nd->mem.charge_combine(bytes);
@@ -267,7 +287,9 @@ sim::CoTask Communicator::smp_reduce_chunk_leader(
     } else {
       coll::combine(op, d, dst, kslot, elems);
     }
-    (*ns.red_consumed[kid_abs % 2])[kid].add(1);
+    chk::note_read(t.chk, kslot, elems * esize);
+    chk::note_write(t.chk, dst, elems * esize);
+    (*ns.red_consumed[kid_abs % 2])[kid].add(1, &t.chk);
   }
 }
 
@@ -299,16 +321,17 @@ void Communicator::finish_reduce_bookkeeping(machine::TaskCtx& t,
 
 sim::CoTask Communicator::smp_barrier_enter(machine::TaskCtx& t) {
   obs::Span span(*t.obs, t.rank, "barrier.smp");
+  chk::StageScope stage(t.chk, "barrier.smp");
   NodeState& ns = node_state(t);
   shm::FlagArray& flags = *ns.bar_flag;
   if (t.local() == 0) {
     for (int l = 1; l < ns.nlocal; ++l) {
       co_await t.delay(t.P->mem.flag_poll);  // read one more cache line
-      co_await flags[l].await_value(1);
+      co_await flags[l].await_value(1, &t.chk);
     }
   } else {
-    flags[t.local()].set(1);
-    co_await flags[t.local()].await_value(0);
+    flags[t.local()].set(1, &t.chk);
+    co_await flags[t.local()].await_value(0, &t.chk);
   }
 }
 
@@ -316,7 +339,7 @@ void Communicator::smp_barrier_release(machine::TaskCtx& t) {
   NodeState& ns = node_state(t);
   SRM_CHECK(t.local() == 0);
   for (int l = 1; l < ns.nlocal; ++l) {
-    (*ns.bar_flag)[l].set(0);
+    (*ns.bar_flag)[l].set(0, &t.chk);
   }
 }
 

@@ -68,6 +68,20 @@ sim::CoTask Endpoint::put(Endpoint& target, void* dst, const void* src,
   }
   co_await ctx_->delay(lp_->call_overhead + ctx_->P->net.o_send);
 
+  // Happens-before: the put carries a clock snapshot from the origin (fork).
+  // The NIC's read of the source buffer is an origin-attributed access; the
+  // deposit at the target is a write attributed to the same message; every
+  // counter bump joins the message clock so Waitcntr acquires it.
+  std::shared_ptr<chk::MsgClock> msg;
+  chk::Checker* ck = nullptr;
+  if (chk::on(ctx_->chk)) {
+    ck = ctx_->chk.checker;
+    msg = std::make_shared<chk::MsgClock>(ck->fork(ctx_->chk.actor));
+    if (bytes > 0 && src != nullptr) {
+      ck->access_remote(*msg, src, bytes, chk::Access::read);
+    }
+  }
+
   Endpoint* origin = this;
   // LAPI semantics: the origin buffer is reusable once the message has left
   // the adapter (org_cntr). Model that faithfully by snapshotting the
@@ -76,20 +90,30 @@ sim::CoTask Endpoint::put(Endpoint& target, void* dst, const void* src,
   // the org bump cannot corrupt the data in flight — while an overwrite
   // *before* the bump corrupts it exactly as real hardware would.
   auto staging = std::make_shared<std::vector<std::byte>>();
-  auto process = [dst, bytes, tgt_cntr, cmpl_cntr, origin, &target, staging] {
+  auto process = [dst, bytes, tgt_cntr, cmpl_cntr, origin, &target, staging,
+                  ck, msg] {
     if (bytes > 0) {
       SRM_CHECK(dst != nullptr);
       SRM_CHECK(staging->size() == bytes);
+      if (ck != nullptr) {
+        ck->access_remote(*msg, dst, bytes, chk::Access::write);
+      }
       std::memcpy(dst, staging->data(), bytes);
     }
-    if (tgt_cntr != nullptr) tgt_cntr->bump();
+    if (tgt_cntr != nullptr) {
+      if (ck != nullptr) ck->join(tgt_cntr->sync_, *msg);
+      tgt_cntr->bump();
+    }
     if (cmpl_cntr != nullptr) {
       // Internal ack back to the origin: pure latency, then origin-side
       // dispatcher visibility rules.
       sim::Engine& eng = *origin->ctx_->eng;
       eng.call_at(eng.now() + origin->ctx_->P->net.latency,
-                  [origin, cmpl_cntr] {
-                    origin->on_arrival([cmpl_cntr] { cmpl_cntr->bump(); });
+                  [origin, cmpl_cntr, ck, msg] {
+                    origin->on_arrival([cmpl_cntr, ck, msg] {
+                      if (ck != nullptr) ck->join(cmpl_cntr->sync_, *msg);
+                      cmpl_cntr->bump();
+                    });
                   });
     }
   };
@@ -111,8 +135,11 @@ sim::CoTask Endpoint::put(Endpoint& target, void* dst, const void* src,
   if (org_cntr != nullptr) {
     // Origin buffer reusable once fully injected; the origin dispatcher
     // makes the bump visible under the usual rules.
-    ctx_->eng->call_at(res.egress_end, [this, org_cntr] {
-      on_arrival([org_cntr] { org_cntr->bump(); });
+    ctx_->eng->call_at(res.egress_end, [this, org_cntr, ck, msg] {
+      on_arrival([org_cntr, ck, msg] {
+        if (ck != nullptr) ck->join(org_cntr->sync_, *msg);
+        org_cntr->bump();
+      });
     });
   }
 }
@@ -154,8 +181,11 @@ sim::CoTask Endpoint::wait_cntr(Counter& c, std::uint64_t value) {
   ++in_call_;
   drain_pending();
   sim::Time blocked_from = ctx_->eng->now();
-  co_await c.wq_.wait_until([&c, value] { return c.value_ >= value; });
+  co_await c.wq_.wait_until([&c, value] { return c.value_ >= value; },
+                            ctx_->rank);
   c.value_ -= value;
+  chk::acq(&ctx_->chk, c.sync_,
+           c.label_.empty() ? nullptr : c.label_.c_str());
   if (wait_ctr_ != nullptr)
     wait_ctr_->add(static_cast<double>(ctx_->eng->now() - blocked_from));
   --in_call_;
@@ -168,6 +198,9 @@ sim::CoTask Endpoint::get_cntr(Counter& c, std::uint64_t& out) {
   // Give same-time scheduled arrivals a chance to land before reading.
   co_await ctx_->delay(lp_->poll_dispatch);
   out = c.value_;
+  // The probe observed whatever bumps have landed: acquire their clocks.
+  chk::acq(&ctx_->chk, c.sync_,
+           c.label_.empty() ? nullptr : c.label_.c_str());
   --in_call_;
 }
 

@@ -24,8 +24,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "chk/chk.hpp"
 #include "machine/cluster.hpp"
 #include "sim/task.hpp"
 #include "sim/wait.hpp"
@@ -35,13 +38,19 @@ namespace srm::lapi {
 class Endpoint;
 
 /// A LAPI counter: bumped by the dispatcher, waited on by the owning task.
+/// Carries a chk::SyncVar — put deliveries join their message clock into it,
+/// Waitcntr returns acquire from it — and an optional label used in race
+/// reports and deadlock dumps.
 class Counter {
  public:
-  explicit Counter(sim::Engine& eng) : wq_(eng) {}
+  explicit Counter(sim::Engine& eng, std::string label = {})
+      : label_(std::move(label)), wq_(eng, label_) {}
   Counter(const Counter&) = delete;
   Counter& operator=(const Counter&) = delete;
 
   std::uint64_t value() const noexcept { return value_; }
+  const std::string& label() const noexcept { return label_; }
+  chk::SyncVar& sync() noexcept { return sync_; }
 
   /// Dispatcher-side bump (visibility rules already applied by Endpoint).
   void bump(std::uint64_t delta = 1) {
@@ -58,6 +67,8 @@ class Counter {
  private:
   friend class Endpoint;
   std::uint64_t value_ = 0;
+  std::string label_;
+  chk::SyncVar sync_;
   sim::WaitQueue wq_;
 };
 

@@ -1,22 +1,29 @@
 #include "machine/cluster.hpp"
 
 #include <cstring>
+#include <string>
 
 namespace srm::machine {
 
 sim::CoTask TaskCtx::copy(void* dst, const void* src, std::size_t bytes) const {
   co_await nd->mem.charge_copy(static_cast<double>(bytes));
   std::memmove(dst, src, bytes);
+  // Every charged copy is an access event; unregistered (private) buffers
+  // are ignored by the checker.
+  chk::note_read(chk, src, bytes);
+  chk::note_write(chk, dst, bytes);
 }
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg),
       topo_(cfg.nodes, cfg.tasks_per_node),
+      chk_(eng_, topo_.nranks()),
       obs_(eng_),
       net_(eng_, cfg.params.net, cfg.nodes, &obs_) {
   nodes_.reserve(static_cast<std::size_t>(cfg.nodes));
   for (int n = 0; n < cfg.nodes; ++n) {
     nodes_.push_back(std::make_unique<Node>(n, eng_, cfg.params.mem, obs_));
+    nodes_.back()->seg.set_checker(&chk_, "n" + std::to_string(n) + ":");
   }
   ctxs_.resize(static_cast<std::size_t>(topo_.nranks()));
   for (int r = 0; r < topo_.nranks(); ++r) {
@@ -28,6 +35,7 @@ Cluster::Cluster(ClusterConfig cfg)
     c.nd = nodes_[static_cast<std::size_t>(topo_.node_of(r))].get();
     c.topo = &topo_;
     c.obs = &obs_;
+    c.chk = chk::TaskChk{&chk_, r};
   }
 }
 

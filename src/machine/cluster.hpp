@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "chk/chk.hpp"
 #include "machine/memory.hpp"
 #include "machine/network.hpp"
 #include "machine/params.hpp"
@@ -48,6 +49,7 @@ struct TaskCtx {
   Node* nd = nullptr;
   const Topology* topo = nullptr;
   obs::Registry* obs = nullptr;
+  chk::TaskChk chk;  // happens-before checker handle (no-op when disabled)
 
   int nranks() const { return topo->nranks(); }
   int node() const { return topo->node_of(rank); }
@@ -76,6 +78,7 @@ class Cluster {
   void run(const Program& program);
 
   sim::Engine& engine() noexcept { return eng_; }
+  chk::Checker& checker() noexcept { return chk_; }
   obs::Registry& obs() noexcept { return obs_; }
   Network& network() noexcept { return net_; }
   const Topology& topology() const noexcept { return topo_; }
@@ -87,6 +90,7 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Engine eng_;
   Topology topo_;
+  chk::Checker chk_;
   obs::Registry obs_;
   Network net_;
   std::vector<std::unique_ptr<Node>> nodes_;

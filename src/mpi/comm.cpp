@@ -19,7 +19,7 @@ constexpr int kCollTagBase = 1 << 20;
 /// Bounded chunk queue modelling the intra-node shared-memory channel.
 struct Comm::ShmPipe {
   ShmPipe(sim::Engine& eng, std::size_t chunk_, int slots_)
-      : chunk(chunk_), slots(slots_), wq(eng) {}
+      : chunk(chunk_), slots(slots_), wq(eng, "mpi.shm_pipe") {}
   std::size_t chunk;
   int slots;
   std::deque<std::vector<std::byte>> full;  // written, not yet drained
@@ -28,7 +28,8 @@ struct Comm::ShmPipe {
 
 /// Shared rendezvous handshake state.
 struct Comm::RndvState {
-  explicit RndvState(sim::Engine& eng) : cts(eng), data_done(eng) {}
+  explicit RndvState(sim::Engine& eng)
+      : cts(eng, "mpi.rndv.cts"), data_done(eng, "mpi.rndv.data") {}
   void* rbuf = nullptr;
   sim::Trigger cts;        // fired at the sender when CTS arrives
   sim::Trigger data_done;  // fired at the receiver when data is deposited
@@ -46,11 +47,23 @@ Comm::Comm(World& world, machine::TaskCtx& ctx)
       rndv_ctr_(ctx.obs != nullptr
                     ? &ctx.obs->counter("mpi.send.rndv", ctx.rank)
                     : nullptr),
-      arrival_wq_(*ctx.eng) {}
+      arrival_wq_(*ctx.eng, "mpi.arrivals@" + std::to_string(ctx.rank)) {}
 
 void Comm::enqueue(Envelope env) {
   arrived_.push_back(std::move(env));
   arrival_wq_.notify();
+}
+
+std::shared_ptr<chk::MsgClock> Comm::hb_fork() {
+  if (!chk::on(ctx_->chk)) return nullptr;
+  return std::make_shared<chk::MsgClock>(
+      ctx_->chk.checker->fork(ctx_->chk.actor));
+}
+
+void Comm::hb_acquire(const std::shared_ptr<chk::MsgClock>& m) {
+  if (m != nullptr && chk::on(ctx_->chk)) {
+    ctx_->chk.checker->acquire_msg(ctx_->chk.actor, *m, "mpi.recv");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -80,7 +93,8 @@ sim::CoTask Comm::send_shm(Comm& dst, int tag, const void* buf,
                                         mp_->shm_slots);
   // The envelope (header in shared memory) becomes visible to the receiver
   // after one cache-line propagation.
-  Envelope env{rank(), tag, bytes, Envelope::Kind::shm, pipe, {}, {}};
+  Envelope env{rank(), tag, bytes, Envelope::Kind::shm, pipe, {}, {}, {}};
+  env.hb = hb_fork();
   Comm* target = &dst;
   ctx_->eng->call_at(ctx_->eng->now() + ctx_->P->mem.flag_propagation,
                      [target, env = std::move(env)]() mutable {
@@ -107,7 +121,8 @@ sim::CoTask Comm::send_eager(Comm& dst, int tag, const void* buf,
   co_await ctx_->delay(ctx_->P->net.o_send + mp_->layer_overhead);
   // The NIC reads the user buffer during injection (no origin copy charge);
   // staging the real bytes models the data leaving the sender's control.
-  Envelope env{rank(), tag, bytes, Envelope::Kind::eager, {}, {}, {}};
+  Envelope env{rank(), tag, bytes, Envelope::Kind::eager, {}, {}, {}, {}};
+  env.hb = hb_fork();
   const std::byte* p = static_cast<const std::byte*>(buf);
   env.staged.assign(p, p + bytes);
   Comm* target = &dst;
@@ -127,7 +142,8 @@ sim::CoTask Comm::send_rndv(Comm& dst, int tag, const void* buf,
   co_await ctx_->delay(ctx_->P->net.o_send + mp_->layer_overhead);
   auto st = std::make_shared<RndvState>(*ctx_->eng);
   // RTS: header-only control message.
-  Envelope env{rank(), tag, bytes, Envelope::Kind::rts, {}, {}, st};
+  Envelope env{rank(), tag, bytes, Envelope::Kind::rts, {}, {}, st, {}};
+  env.hb = hb_fork();
   Comm* target = &dst;
   ctx_->cluster->network().inject(ctx_->node(), dst.ctx_->node(), 64.0,
                                   [target, env = std::move(env)]() mutable {
@@ -146,12 +162,15 @@ sim::CoTask Comm::send_rndv(Comm& dst, int tag, const void* buf,
         if (bytes > 0) std::memcpy(rbuf, staging->data(), bytes);
         st->data_done.fire();
       });
+  // Snapshot and unblock in ONE event: if these were two same-timestamp
+  // events, a perturbed tie-break could resume the sender (which may free
+  // or overwrite the buffer) before the snapshot reads it.
   const std::byte* sp = static_cast<const std::byte*>(buf);
-  ctx_->eng->call_at(res.egress_end, [staging, sp, bytes] {
-    staging->assign(sp, sp + bytes);
-  });
   sim::Trigger injected(*ctx_->eng);
-  ctx_->eng->call_at(res.egress_end, [&injected] { injected.fire(); });
+  ctx_->eng->call_at(res.egress_end, [staging, sp, bytes, &injected] {
+    staging->assign(sp, sp + bytes);
+    injected.fire();
+  });
   co_await injected.wait();
 }
 
@@ -163,15 +182,17 @@ sim::CoTask Comm::recv(int src, int tag, void* buf, std::size_t bytes) {
            (tag == kAnyTag || e.tag == tag);
   };
   std::size_t idx = 0;
-  co_await arrival_wq_.wait_until([this, &matches, &idx] {
-    for (std::size_t i = 0; i < arrived_.size(); ++i) {
-      if (matches(arrived_[i])) {
-        idx = i;
-        return true;
-      }
-    }
-    return false;
-  });
+  co_await arrival_wq_.wait_until(
+      [this, &matches, &idx] {
+        for (std::size_t i = 0; i < arrived_.size(); ++i) {
+          if (matches(arrived_[i])) {
+            idx = i;
+            return true;
+          }
+        }
+        return false;
+      },
+      ctx_->rank);
   // Tag matching: one queue probe per envelope examined before the match.
   co_await ctx_->delay(mp_->match_cost * (idx + 1));
   Envelope env = std::move(arrived_[idx]);
@@ -218,6 +239,9 @@ sim::CoTask Comm::recv(int src, int tag, void* buf, std::size_t bytes) {
       break;
     }
   }
+  // Happens-before: matching + data deposit complete — the receiver has
+  // observed everything the sender did before this send.
+  hb_acquire(env.hb);
 }
 
 namespace {

@@ -124,8 +124,11 @@ class Comm {
     std::shared_ptr<ShmPipe> pipe;          // kind == shm
     std::vector<std::byte> staged;          // kind == eager
     std::shared_ptr<RndvState> rndv;        // kind == rts
+    std::shared_ptr<chk::MsgClock> hb;      // sender clock at send time
   };
   void enqueue(Envelope env);  // called at modelled arrival time
+  std::shared_ptr<chk::MsgClock> hb_fork();
+  void hb_acquire(const std::shared_ptr<chk::MsgClock>& m);
   std::deque<Envelope> arrived_;
   sim::WaitQueue arrival_wq_;
   std::uint64_t coll_seq_ = 0;  // per-rank collective sequence number

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "chk/chk.hpp"
 #include "util/align.hpp"
 #include "util/check.hpp"
 
@@ -29,6 +30,13 @@ class Segment {
   Segment(const Segment&) = delete;
   Segment& operator=(const Segment&) = delete;
 
+  /// Attach a checker: buffers created from here on register as tracked
+  /// regions named "<prefix><buffer name>".
+  void set_checker(chk::Checker* chk, std::string prefix = {}) {
+    chk_ = chk;
+    chk_prefix_ = std::move(prefix);
+  }
+
   /// Create-or-attach a zeroed byte buffer of (at least) @p bytes.
   /// All callers passing the same name must pass the same size.
   std::span<std::byte> buffer(const std::string& name, std::size_t bytes) {
@@ -38,6 +46,9 @@ class Segment {
                                           util::kCacheLine);
       auto storage = std::make_unique<std::byte[]>(padded);
       std::fill_n(storage.get(), padded, std::byte{0});
+      if (chk_ != nullptr) {
+        chk_->register_region(storage.get(), bytes, chk_prefix_ + name);
+      }
       it = buffers_.emplace(name, Buf{std::move(storage), bytes}).first;
     }
     SRM_CHECK_MSG(it->second.size == bytes,
@@ -78,6 +89,8 @@ class Segment {
     std::shared_ptr<void> ptr;
     std::type_index type;
   };
+  chk::Checker* chk_ = nullptr;
+  std::string chk_prefix_;
   std::unordered_map<std::string, Buf> buffers_;
   std::unordered_map<std::string, Obj> objects_;
 };

@@ -7,7 +7,7 @@ namespace srm::sim {
 Engine::EventId Engine::call_at(Time t, std::function<void()> fn) {
   SRM_CHECK_MSG(t >= now_, "event scheduled in the past");
   EventId id = next_id_++;
-  queue_.push(Ev{t, id, {}, std::move(fn)});
+  queue_.push(Ev{t, next_key(), id, {}, std::move(fn)});
   return id;
 }
 
@@ -15,7 +15,7 @@ Engine::EventId Engine::resume_at(Time t, std::coroutine_handle<> h) {
   SRM_CHECK_MSG(t >= now_, "resume scheduled in the past");
   SRM_CHECK(h);
   EventId id = next_id_++;
-  queue_.push(Ev{t, id, h, {}});
+  queue_.push(Ev{t, next_key(), id, h, {}});
   return id;
 }
 
@@ -31,6 +31,28 @@ void Engine::spawn(CoTask task) {
   };
   roots_.emplace(key, std::move(task));
   resume_at(now_, h);
+}
+
+void Engine::add_blocked_source(BlockedInfoSource* src) {
+  SRM_CHECK(src != nullptr);
+  std::uint64_t id = next_source_id_++;
+  blocked_sources_.emplace(id, src);
+  blocked_source_ids_.emplace(src, id);
+}
+
+void Engine::remove_blocked_source(BlockedInfoSource* src) {
+  auto it = blocked_source_ids_.find(src);
+  if (it == blocked_source_ids_.end()) return;
+  blocked_sources_.erase(it->second);
+  blocked_source_ids_.erase(it);
+}
+
+std::string Engine::describe_deadlock() const {
+  std::ostringstream os;
+  os << "simulation deadlock: event queue empty but " << roots_.size()
+     << " process(es) still suspended at t=" << to_us(now_) << "us";
+  for (const auto& [id, src] : blocked_sources_) src->describe_blocked(os);
+  return os.str();
 }
 
 void Engine::reap_finished() {
@@ -61,10 +83,7 @@ void Engine::run() {
     }
   }
   if (!roots_.empty()) {
-    std::ostringstream os;
-    os << "simulation deadlock: event queue empty but " << roots_.size()
-       << " process(es) still suspended at t=" << to_us(now_) << "us";
-    throw util::CheckError(os.str());
+    throw util::CheckError(describe_deadlock());
   }
 }
 

@@ -1,15 +1,25 @@
 // The discrete-event engine: a virtual clock and an ordered event queue.
 //
-// Events are (time, sequence) ordered — two events at the same virtual time
-// fire in the order they were scheduled, which makes every simulation run
-// bitwise deterministic. The engine owns top-level coroutine processes
-// (Engine::spawn) and detects deadlock: if the queue drains while spawned
-// processes are still suspended, run() throws.
+// Events are (time, tie-break, sequence) ordered. The default tie-break is
+// FIFO — two events at the same virtual time fire in the order they were
+// scheduled — which makes every simulation run bitwise deterministic. For
+// schedule-perturbation testing (srm::chk) the tie-break can be switched to a
+// seeded random permutation of same-timestamp events: still deterministic for
+// a given seed, but it explores orderings the FIFO rule would never produce,
+// exactly the reorderings a real machine's race windows allow.
+//
+// The engine owns top-level coroutine processes (Engine::spawn) and detects
+// deadlock: if the queue drains while spawned processes are still suspended,
+// run() throws. Components that park coroutines (WaitQueue, Trigger, the
+// chk::Checker) can register as BlockedInfoSource so the deadlock error names
+// who is blocked on what instead of only counting suspended processes.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <map>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,8 +28,25 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace srm::sim {
+
+/// A component that can describe coroutines currently blocked on it.
+/// Consulted (in registration order) when the engine detects deadlock.
+class BlockedInfoSource {
+ public:
+  virtual ~BlockedInfoSource() = default;
+  /// Append a description of currently blocked waiters; print nothing when
+  /// nobody is blocked here.
+  virtual void describe_blocked(std::ostream& os) const = 0;
+};
+
+/// Ordering policy for events scheduled at the same virtual time.
+enum class TieBreak {
+  fifo,    ///< schedule order (default; the seed behaviour)
+  random,  ///< seeded random permutation of same-timestamp events
+};
 
 class Engine {
  public:
@@ -50,6 +77,25 @@ class Engine {
   /// processes remain suspended).
   void run();
 
+  /// Select how same-timestamp events are ordered. FIFO reproduces the
+  /// schedule order; `random` permutes ties with a SplitMix64 stream seeded
+  /// by @p seed (deterministic per seed). Affects only events scheduled
+  /// after the call.
+  void set_tiebreak(TieBreak policy, std::uint64_t seed = 0) {
+    tiebreak_ = policy;
+    tie_rng_ = util::SplitMix64(seed);
+  }
+  TieBreak tiebreak() const noexcept { return tiebreak_; }
+
+  /// Register/unregister a source of blocked-waiter descriptions for the
+  /// deadlock error message. Sources are reported in registration order.
+  void add_blocked_source(BlockedInfoSource* src);
+  void remove_blocked_source(BlockedInfoSource* src);
+
+  /// The deadlock description the engine would throw right now: the base
+  /// message plus every registered source's describe_blocked output.
+  std::string describe_deadlock() const;
+
   /// Number of processes spawned that have not yet completed.
   std::size_t live_processes() const noexcept { return roots_.size() - reap_.size(); }
 
@@ -72,23 +118,39 @@ class Engine {
  private:
   struct Ev {
     Time t;
+    std::uint64_t key;               // tie-break within equal t (0 in FIFO)
     EventId id;
     std::coroutine_handle<> h;       // exactly one of h / fn is active
     std::function<void()> fn;
   };
   struct EvOrder {
     bool operator()(const Ev& a, const Ev& b) const {
-      return a.t != b.t ? a.t > b.t : a.id > b.id;
+      if (a.t != b.t) return a.t > b.t;
+      if (a.key != b.key) return a.key > b.key;
+      return a.id > b.id;
     }
   };
+
+  std::uint64_t next_key() {
+    return tiebreak_ == TieBreak::random ? tie_rng_.next() : 0;
+  }
 
   void reap_finished();
 
   Time now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
+  TieBreak tiebreak_ = TieBreak::fifo;
+  util::SplitMix64 tie_rng_{0};
   std::priority_queue<Ev, std::vector<Ev>, EvOrder> queue_;
   std::unordered_set<EventId> cancelled_;
+
+  // Blocked-info sources, reported in registration order. Declared before
+  // roots_ so coroutine frames destroyed with the engine can still
+  // unregister their wait-points.
+  std::uint64_t next_source_id_ = 1;
+  std::map<std::uint64_t, BlockedInfoSource*> blocked_sources_;
+  std::unordered_map<BlockedInfoSource*, std::uint64_t> blocked_source_ids_;
 
   std::uint64_t next_root_ = 1;
   std::unordered_map<std::uint64_t, CoTask> roots_;

@@ -4,9 +4,15 @@
 // the virtual time fire() is called (or immediately, without suspending, if
 // the trigger already fired). Used for transfer completions, rendezvous
 // handshakes, and non-blocking operation handles.
+//
+// Triggers register as BlockedInfoSource so a deadlock dump names unfired
+// latches with parked waiters.
 #pragma once
 
 #include <coroutine>
+#include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -14,9 +20,13 @@
 
 namespace srm::sim {
 
-class Trigger {
+class Trigger : public BlockedInfoSource {
  public:
-  explicit Trigger(Engine& eng) : eng_(&eng) {}
+  explicit Trigger(Engine& eng, std::string label = {})
+      : eng_(&eng), label_(std::move(label)) {
+    eng_->add_blocked_source(this);
+  }
+  ~Trigger() override { eng_->remove_blocked_source(this); }
   Trigger(const Trigger&) = delete;
   Trigger& operator=(const Trigger&) = delete;
 
@@ -37,6 +47,12 @@ class Trigger {
     fired_ = false;
   }
 
+  void describe_blocked(std::ostream& os) const override {
+    if (waiters_.empty()) return;
+    os << "\n  trigger '" << (label_.empty() ? "<unnamed>" : label_)
+       << "': unfired, " << waiters_.size() << " blocked";
+  }
+
   struct Awaiter {
     Trigger* t;
     bool await_ready() const noexcept { return t->fired_; }
@@ -47,6 +63,7 @@ class Trigger {
 
  private:
   Engine* eng_;
+  std::string label_;
   bool fired_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
 };

@@ -5,10 +5,16 @@
 // now holds is resumed at the current virtual time. Like a condition
 // variable, wakeups re-check the predicate, so multiple waiters racing for
 // one resource are handled correctly.
+//
+// Each WaitQueue registers with the engine as a BlockedInfoSource: on
+// deadlock the error message lists, per labelled wait-point, how many
+// coroutines are parked and (when the caller passed a rank) who they are.
 #pragma once
 
 #include <coroutine>
 #include <functional>
+#include <ostream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -17,16 +23,21 @@
 
 namespace srm::sim {
 
-class WaitQueue {
+class WaitQueue : public BlockedInfoSource {
  public:
-  explicit WaitQueue(Engine& eng) : eng_(&eng) {}
+  explicit WaitQueue(Engine& eng, std::string label = {})
+      : eng_(&eng), label_(std::move(label)) {
+    eng_->add_blocked_source(this);
+  }
+  ~WaitQueue() override { eng_->remove_blocked_source(this); }
   WaitQueue(const WaitQueue&) = delete;
   WaitQueue& operator=(const WaitQueue&) = delete;
 
   /// Suspend until @p pred returns true. Returns immediately (without
-  /// yielding to the engine) when the predicate already holds.
-  CoTask wait_until(std::function<bool()> pred) {
-    while (!pred()) co_await WaitOnce{this, &pred};
+  /// yielding to the engine) when the predicate already holds. @p who is an
+  /// optional task rank recorded for deadlock diagnostics.
+  CoTask wait_until(std::function<bool()> pred, int who = -1) {
+    while (!pred()) co_await WaitOnce{this, &pred, who};
   }
 
   /// Wake every waiter whose predicate currently holds.
@@ -46,22 +57,41 @@ class WaitQueue {
 
   std::size_t waiting() const noexcept { return waiters_.size(); }
 
+  const std::string& label() const noexcept { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  void describe_blocked(std::ostream& os) const override {
+    if (waiters_.empty()) return;
+    os << "\n  wait-point '" << (label_.empty() ? "<unnamed>" : label_)
+       << "': " << waiters_.size() << " blocked";
+    bool any = false;
+    for (const Waiter& w : waiters_) {
+      if (w.who < 0) continue;
+      os << (any ? ", " : " (task ") << w.who;
+      any = true;
+    }
+    if (any) os << ")";
+  }
+
  private:
   struct Waiter {
     std::coroutine_handle<> h;
     const std::function<bool()>* pred;
+    int who;
   };
   struct WaitOnce {
     WaitQueue* wq;
     const std::function<bool()>* pred;
+    int who;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      wq->waiters_.push_back(Waiter{h, pred});
+      wq->waiters_.push_back(Waiter{h, pred, who});
     }
     void await_resume() const noexcept {}
   };
 
   Engine* eng_;
+  std::string label_;
   std::vector<Waiter> waiters_;
 };
 

@@ -160,6 +160,11 @@ TEST(SharedFlag, CounterSemantics) {
   shm::SharedFlag f(eng, mp);
   f.add(3);
   f.add(2);
+  // The committed value is immediate; polled readers see it only after the
+  // propagation events run.
+  EXPECT_EQ(f.raw_get(), 5u);
+  EXPECT_EQ(f.get(), 0u);
+  eng.run();
   EXPECT_EQ(f.get(), 5u);
 }
 
