@@ -5,10 +5,19 @@
 #   ci/check.sh fast       # default build + ctest only
 #
 # Stages:
-#   1. default     — release-ish build with SRM_CHK=ON, full ctest
+#   1. default     — release-ish build with SRM_CHK=ON + SRM_MC=ON, full ctest
 #   2. sanitize    — ASan+UBSan build, full ctest
 #   3. chk-off     — SRM_CHK=OFF build (checker compiled out), full ctest
-#   4. stress      — schedule-perturbation explorer suites, verbose
+#   4. tidy        — clang-tidy over src/ with warnings-as-errors (enforced
+#                    when the binary exists; green skip on the gcc-only image)
+#   5. static      — cppcheck with ci/cppcheck-suppressions.txt when
+#                    installed; otherwise the SRM_PARANOID strict-warning
+#                    build of src/ (gcc's deepest clean warning set)
+#   6. coverage    — SRM_COVERAGE (gcov) build, full ctest, per-subsystem
+#                    line-coverage summary with a soft floor on src/chk +
+#                    src/mc (ci/coverage_summary.py)
+#   7. stress      — schedule-perturbation explorer + mutation + model-checker
+#                    suites, verbose
 #
 # Each stage uses its own build tree under build-ci/ so a plain `build/`
 # working tree is never clobbered.
@@ -29,15 +38,42 @@ run_stage() {
   (cd "$dir" && ctest -j "$JOBS" --output-on-failure)
 }
 
-run_stage default -DSRM_CHK=ON
+run_stage default -DSRM_CHK=ON -DSRM_MC=ON
 
 if [[ "$MODE" != "fast" ]]; then
   run_stage sanitize -DSRM_CHK=ON -DSRM_SANITIZE=address,undefined
   run_stage chk-off -DSRM_CHK=OFF
 
-  echo "=== [stress] schedule explorer (16+ seeds, all ops, both backends) ==="
-  (cd build-ci/default && ctest -R "ScheduleExplorer|Fig3Mutation" \
-     --output-on-failure)
+  echo "=== [tidy] clang-tidy over src/ (warnings are errors) ==="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # The default stage exported compile_commands.json; enforce the checked-in
+    # .clang-tidy config over every simulator TU.
+    mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+    clang-tidy -p build-ci/default -warnings-as-errors='*' \
+      "${TIDY_SOURCES[@]}"
+  else
+    echo "clang-tidy not installed — skipping (install it to enforce .clang-tidy)"
+  fi
+
+  echo "=== [static] cppcheck / strict-warning fallback ==="
+  if command -v cppcheck >/dev/null 2>&1; then
+    cppcheck --std=c++20 --language=c++ \
+      --enable=warning,performance,portability \
+      --suppressions-list=ci/cppcheck-suppressions.txt \
+      --inline-suppr --error-exitcode=1 --quiet \
+      -I src src
+  else
+    echo "cppcheck not installed — building src/ under SRM_PARANOID instead"
+    run_stage static -DSRM_PARANOID=ON
+  fi
+
+  echo "=== [coverage] gcov build + line-coverage summary ==="
+  run_stage coverage -DSRM_COVERAGE=ON -DSRM_CHK=ON -DSRM_MC=ON
+  python3 ci/coverage_summary.py build-ci/coverage 70
+
+  echo "=== [stress] explorer + mutation + model-checker suites, verbose ==="
+  (cd build-ci/default && ctest --output-on-failure \
+     -R "ScheduleExplorer|Fig3Mutation|Fig2Mutation|FlatBarrierMutation|Mc")
 fi
 
 echo "=== all stages passed ==="

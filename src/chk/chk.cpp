@@ -72,6 +72,10 @@ void Checker::release(int actor, SyncVar& v, const char* what) {
   join_into(v.vc, a.vc);
   ++a.vc[static_cast<std::size_t>(actor)];
   ++sync_ops_;
+  if (trace_on_) {
+    trace_.push_back(TraceEvent{TraceEvent::Kind::release, actor, &v, 0, 0,
+                                0, false, what ? what : ""});
+  }
   a.last_sync = std::string("release '") + (what ? what : "<sync>") + "'";
   a.last_sync_t = eng_->now();
 }
@@ -80,6 +84,10 @@ void Checker::acquire(int actor, SyncVar& v, const char* what) {
   auto& a = actors_[static_cast<std::size_t>(actor)];
   join_into(a.vc, v.vc);
   ++sync_ops_;
+  if (trace_on_) {
+    trace_.push_back(TraceEvent{TraceEvent::Kind::acquire, actor, &v, 0, 0,
+                                0, false, what ? what : ""});
+  }
   a.last_sync = std::string("acquire '") + (what ? what : "<sync>") + "'";
   a.last_sync_t = eng_->now();
 }
@@ -89,21 +97,34 @@ MsgClock Checker::fork(int actor) {
   MsgClock m;
   m.vc = a.vc;
   m.origin = actor;
+  m.id = next_msg_id_++;
   m.stages = stage_names(actor);
   ++a.vc[static_cast<std::size_t>(actor)];
   ++sync_ops_;
+  if (trace_on_) {
+    trace_.push_back(TraceEvent{TraceEvent::Kind::fork, actor, nullptr, m.id,
+                                0, 0, false, ""});
+  }
   return m;
 }
 
 void Checker::join(SyncVar& v, const MsgClock& m) {
   join_into(v.vc, m.vc);
   ++sync_ops_;
+  if (trace_on_) {
+    trace_.push_back(TraceEvent{TraceEvent::Kind::join, m.origin, &v, m.id,
+                                0, 0, true, ""});
+  }
 }
 
 void Checker::acquire_msg(int actor, const MsgClock& m, const char* what) {
   auto& a = actors_[static_cast<std::size_t>(actor)];
   join_into(a.vc, m.vc);
   ++sync_ops_;
+  if (trace_on_) {
+    trace_.push_back(TraceEvent{TraceEvent::Kind::acquire_msg, actor, nullptr,
+                                m.id, 0, 0, false, what ? what : ""});
+  }
   a.last_sync = std::string("recv '") + (what ? what : "<msg>") + "'";
   a.last_sync_t = eng_->now();
 }
@@ -169,6 +190,12 @@ void Checker::access(int actor, const void* p, std::size_t len, Access k) {
   Clock epoch = a.vc[static_cast<std::size_t>(actor)];
   check_access(*rg, a.vc, actor, epoch, off, off + len, k,
                stage_names(actor));
+  if (trace_on_) {
+    trace_.push_back(TraceEvent{
+        k == Access::write ? TraceEvent::Kind::write : TraceEvent::Kind::read,
+        actor, static_cast<const char*>(p) - off, 0, off, off + len, false,
+        rg->name});
+  }
   note_last_access(actor, *rg, off, off + len, k);
 }
 
@@ -180,6 +207,12 @@ void Checker::access_remote(const MsgClock& m, const void* p, std::size_t len,
   if (rg == nullptr) return;
   Clock epoch = m.vc[static_cast<std::size_t>(m.origin)];
   check_access(*rg, m.vc, m.origin, epoch, off, off + len, k, m.stages);
+  if (trace_on_) {
+    trace_.push_back(TraceEvent{
+        k == Access::write ? TraceEvent::Kind::write : TraceEvent::Kind::read,
+        m.origin, static_cast<const char*>(p) - off, m.id, off, off + len,
+        true, rg->name});
+  }
 }
 
 std::uint64_t Checker::stage_push(int actor, const char* name) {

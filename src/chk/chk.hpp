@@ -60,7 +60,32 @@ struct SyncVar {
 struct MsgClock {
   std::vector<Clock> vc;
   int origin = -1;
+  std::uint64_t id = 0;  ///< per-checker message number (trace export)
   std::vector<const char*> stages;
+};
+
+/// One recorded synchronization/access event, in observation order. A traced
+/// run is exactly the raw material srm::mc needs to rebuild the execution's
+/// protocol skeleton (mc/extract.hpp) and model-check *other* interleavings
+/// of the same synchronization structure.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    release,      ///< writer side of a sync object
+    acquire,      ///< observer side of a sync object
+    fork,         ///< message snapshot taken at the origin
+    join,         ///< message delivered into a sync object (counter bump)
+    acquire_msg,  ///< receiver observed the message directly
+    read,         ///< region read
+    write,        ///< region write
+  };
+  Kind kind{};
+  int actor = -1;             ///< issuing actor (message origin for join)
+  const void* obj = nullptr;  ///< SyncVar* (sync ops) or region base (access)
+  std::uint64_t msg = 0;      ///< message id (fork/join/acquire_msg/remote)
+  std::uint64_t lo = 0;       ///< byte range within the region (accesses)
+  std::uint64_t hi = 0;
+  bool remote = false;        ///< access carried by an in-flight message
+  std::string label;          ///< sync label or region name ("" if unnamed)
 };
 
 enum class Access : std::uint8_t { read, write };
@@ -129,6 +154,15 @@ class Checker : public sim::BlockedInfoSource {
   std::uint64_t stage_push(int actor, const char* name);
   void stage_pop(int actor, std::uint64_t token);
 
+  // --- trace export ---------------------------------------------------------
+  /// Record every sync op and checked access into an event trace (off by
+  /// default; costs one append per event while on). The trace feeds
+  /// mc::skeleton_from_trace.
+  void set_trace(bool on) { trace_on_ = kEnabled && on; }
+  bool tracing() const noexcept { return trace_on_; }
+  const std::vector<TraceEvent>& trace() const noexcept { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
   // --- results --------------------------------------------------------------
   const std::vector<RaceReport>& reports() const noexcept { return reports_; }
   void clear_reports() { reports_.clear(); }
@@ -180,9 +214,12 @@ class Checker : public sim::BlockedInfoSource {
 
   sim::Engine* eng_;
   bool enabled_ = false;
+  bool trace_on_ = false;
   std::uint64_t accesses_ = 0;
   std::uint64_t sync_ops_ = 0;
+  std::uint64_t next_msg_id_ = 1;
   std::uint64_t next_stage_token_ = 1;
+  std::vector<TraceEvent> trace_;
   std::vector<ActorState> actors_;
   std::map<const void*, Region> regions_;  // keyed by base address
   std::vector<RaceReport> reports_;

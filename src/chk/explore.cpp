@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -76,6 +77,37 @@ void jitter_params(machine::MachineParams& p, std::uint64_t seed) {
   p.net.gap = scaled(p.net.gap, f());
   p.lapi.poll_dispatch = scaled(p.lapi.poll_dispatch, f());
   p.lapi.call_overhead = scaled(p.lapi.call_overhead, f());
+}
+
+constexpr std::size_t kMaxTrace = 160;  // failing-run trace lines kept
+
+std::string format_event(const TraceEvent& ev) {
+  std::ostringstream os;
+  switch (ev.kind) {
+    case TraceEvent::Kind::release:
+      os << "a" << ev.actor << " release";
+      break;
+    case TraceEvent::Kind::acquire:
+      os << "a" << ev.actor << " acquire";
+      break;
+    case TraceEvent::Kind::fork:
+      os << "a" << ev.actor << " fork msg#" << ev.msg;
+      break;
+    case TraceEvent::Kind::join:
+      os << "nic(origin a" << ev.actor << ") join msg#" << ev.msg;
+      break;
+    case TraceEvent::Kind::acquire_msg:
+      os << "a" << ev.actor << " recv msg#" << ev.msg;
+      break;
+    case TraceEvent::Kind::read:
+    case TraceEvent::Kind::write:
+      os << (ev.remote ? "put(a" : "a") << ev.actor << (ev.remote ? ") " : " ")
+         << (ev.kind == TraceEvent::Kind::write ? "write" : "read") << " ["
+         << ev.lo << "," << ev.hi << ")";
+      break;
+  }
+  if (!ev.label.empty()) os << " '" << ev.label << "'";
+  return os.str();
 }
 
 struct Verifier {
@@ -241,8 +273,21 @@ const char* backend_name(ExploreBackend b) {
 
 ExploreResult explore(const ExploreOptions& opt) {
   ExploreResult res;
-  for (int s = 0; s < opt.schedules; ++s) {
-    std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(s);
+  std::uint64_t seed_base = opt.seed_base;
+  int schedules = opt.schedules;
+  // Reproducer override: SRM_EXPLORE_SEED pins the sweep to one exact seed.
+  if (const char* env = std::getenv("SRM_EXPLORE_SEED")) {
+    char* end = nullptr;
+    std::uint64_t pinned = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      seed_base = pinned;
+      schedules = 1;
+    }
+  }
+  for (int s = 0; s < schedules; ++s) {
+    std::uint64_t seed = seed_base + static_cast<std::uint64_t>(s);
+    std::size_t fails_before =
+        res.payload_errors.size() + res.races.size() + res.deadlocks.size();
 
     machine::ClusterConfig cc;
     cc.nodes = opt.nodes;
@@ -252,6 +297,9 @@ ExploreResult explore(const ExploreOptions& opt) {
     machine::Cluster cluster(cc);
     cluster.engine().set_tiebreak(sim::TieBreak::random, seed);
     cluster.checker().set_enabled(opt.enable_checker);
+    // Record the synchronization trace so a failing seed's interleaving can
+    // be printed without a rerun (cleared per seed, kept on first failure).
+    cluster.checker().set_trace(opt.enable_checker);
 
     std::unique_ptr<lapi::Fabric> fabric;
     std::unique_ptr<Communicator> srm_impl;
@@ -295,6 +343,19 @@ ExploreResult explore(const ExploreOptions& opt) {
       res.races.push_back("seed " + std::to_string(seed) + ": " +
                           r.to_string());
     }
+
+    bool failed = res.payload_errors.size() + res.races.size() +
+                      res.deadlocks.size() >
+                  fails_before;
+    if (failed && res.first_failing_seed == ExploreResult::kNoSeed) {
+      res.first_failing_seed = seed;
+      const std::vector<TraceEvent>& tr = chk.trace();
+      std::size_t from = tr.size() > kMaxTrace ? tr.size() - kMaxTrace : 0;
+      for (std::size_t i = from; i < tr.size(); ++i) {
+        res.failing_trace.push_back(format_event(tr[i]));
+      }
+    }
+    if (failed && opt.stop_on_failure) break;
   }
   return res;
 }
@@ -309,6 +370,15 @@ std::string summarize(const ExploreOptions& opt, const ExploreResult& r) {
   for (const auto& e : r.payload_errors) os << "\n  payload: " << e;
   for (const auto& e : r.races) os << "\n  race: " << e;
   for (const auto& e : r.deadlocks) os << "\n  deadlock: " << e;
+  if (r.first_failing_seed != ExploreResult::kNoSeed) {
+    os << "\n  first failing seed: " << r.first_failing_seed
+       << " (rerun with SRM_EXPLORE_SEED=" << r.first_failing_seed << ")";
+    if (!r.failing_trace.empty()) {
+      os << "\n  tie-break trace (last " << r.failing_trace.size()
+         << " sync events of the failing run):";
+      for (const auto& line : r.failing_trace) os << "\n    " << line;
+    }
+  }
   return os.str();
 }
 

@@ -36,15 +36,29 @@ struct ExploreOptions {
   /// Run with the happens-before checker recording (SRM backend: shared
   /// segments + LAPI counters; mini-MPI: message clocks).
   bool enable_checker = true;
+  /// Stop at the first failing seed instead of finishing the sweep — the
+  /// reproducer mode. The failing seed and its synchronization trace are in
+  /// the result either way.
+  bool stop_on_failure = false;
 };
 
 struct ExploreResult {
+  /// first_failing_seed when every seed was clean.
+  static constexpr std::uint64_t kNoSeed = ~std::uint64_t{0};
+
   int runs = 0;                 ///< schedules completed (including failed)
   std::uint64_t accesses = 0;   ///< total checker-verified accesses
   std::uint64_t sync_ops = 0;   ///< total happens-before edges recorded
   std::vector<std::string> payload_errors;  ///< "seed S op K rank R: ..."
   std::vector<std::string> races;           ///< formatted checker reports
   std::vector<std::string> deadlocks;       ///< CheckError messages per seed
+  /// The first seed whose run failed (payload, race, or deadlock); rerunning
+  /// with seed_base = this and schedules = 1 reproduces it deterministically
+  /// (that is exactly what SRM_EXPLORE_SEED does).
+  std::uint64_t first_failing_seed = kNoSeed;
+  /// The failing run's tie-break trace: the checker's synchronization events
+  /// in execution order (capped), for debugging without a rerun.
+  std::vector<std::string> failing_trace;
 
   bool clean() const {
     return payload_errors.empty() && races.empty() && deadlocks.empty();
@@ -53,6 +67,10 @@ struct ExploreResult {
 
 /// Run the full eight-operation sequence under opt.schedules seeded
 /// schedules. Never throws for protocol failures — they are returned.
+///
+/// Environment override: when SRM_EXPLORE_SEED is set, the sweep collapses
+/// to exactly that one seed (schedules = 1, seed_base = $SRM_EXPLORE_SEED) —
+/// the deterministic replay knob for a failure a previous sweep printed.
 ExploreResult explore(const ExploreOptions& opt);
 
 /// Human-readable one-paragraph summary (for test logs and CLI output).

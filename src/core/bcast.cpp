@@ -56,8 +56,7 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
 
   // Single-buffer ablation: the landing pair degenerates to one slot too.
   auto link_slot = [this](std::uint64_t seq) {
-    return cfg_.use_two_buffers ? static_cast<std::size_t>(seq % 2)
-                                : std::size_t{0};
+    return cfg_.use_two_buffers ? seq % 2 : std::size_t{0};
   };
 
   if (t.rank != leader) {

@@ -51,8 +51,7 @@ sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
   std::size_t my_hi = my_lo + block;
 
   auto link_slot = [this](std::uint64_t seq) {
-    return cfg_.use_two_buffers ? static_cast<std::size_t>(seq % 2)
-                                : std::size_t{0};
+    return cfg_.use_two_buffers ? seq % 2 : std::size_t{0};
   };
 
   if (t.rank == root) {
@@ -159,8 +158,7 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
       static_cast<std::size_t>(my_node) * node_block;  // in the root buffer
 
   auto slot_of = [this](std::uint64_t a) {
-    return cfg_.use_two_buffers ? static_cast<std::size_t>(a % 2)
-                                : std::size_t{0};
+    return cfg_.use_two_buffers ? a % 2 : std::size_t{0};
   };
   int p = t.nlocal();
 
@@ -261,8 +259,7 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
     for (int nd = 0; nd < t.nnodes(); ++nd) {
       if (nd == root_node) continue;
       co_await my_ep.wait_cntr(
-          *ns.ga_done[static_cast<std::size_t>(nd)],
-          static_cast<std::uint64_t>(nchunks));
+          *ns.ga_done[static_cast<std::size_t>(nd)], nchunks);
     }
   }
 

@@ -111,8 +111,7 @@ sim::CoTask Communicator::smp_bcast_chunk_tree(machine::TaskCtx& t,
   // Signal own children, then (non-leaders) mark own flag consumed.
   const auto& kids = tree.children[static_cast<std::size_t>(t.local())];
   if (!kids.empty()) {
-    co_await t.delay(t.P->mem.flag_poll *
-                     static_cast<sim::Duration>(kids.size()));
+    co_await t.delay(t.P->mem.flag_poll * kids.size());
   }
   for (int c : kids) ready[c].set(1, &t.chk);
   if (t.local() != leader_local) ready[t.local()].set(0, &t.chk);

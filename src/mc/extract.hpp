@@ -1,0 +1,40 @@
+// Trace extraction: turn a chk::Checker event trace (one concrete execution
+// of the real simulator) into a protocol IR Program whose *other*
+// interleavings the model checker can then explore. This closes the loop in
+// the opposite direction from replay.hpp: replay takes an abstract schedule
+// to a concrete run, extraction lifts a concrete run back to an abstract
+// skeleton.
+//
+// The lift is conservative and approximate:
+//   * every release / counter bump becomes a monotonic add;
+//   * every acquire becomes await_ge with the release count observed at that
+//     point of the trace — a threshold that makes the recorded schedule
+//     feasible but may be stricter or looser than the real guard, so
+//     deadlock checking is off by default for extracted programs
+//     (extracted_options());
+//   * messages become per-consumer FIFO channels: the fork's send, the
+//     receiver's recv, and the NIC-side join/deposit run on a per-origin
+//     "nic<k>" thread, preserving the asynchrony of one-sided puts;
+//   * accesses keep their exact byte ranges, so the race verdict transfers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chk/chk.hpp"
+#include "mc/ir.hpp"
+#include "mc/mc.hpp"
+
+namespace srm::mc {
+
+/// Build a Program from @p trace (see chk::Checker::set_trace). @p nactors
+/// is the checker's actor count; actor i becomes thread "a<i>".
+Program skeleton_from_trace(const std::vector<chk::TraceEvent>& trace,
+                            int nactors,
+                            const std::string& name = "trace");
+
+/// check() options suited to extracted programs: full DPOR, but deadlock
+/// reporting off (await thresholds are approximations of the real guards).
+Options extracted_options();
+
+}  // namespace srm::mc

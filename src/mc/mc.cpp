@@ -1,0 +1,514 @@
+#include "mc/mc.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace srm::mc {
+namespace {
+
+using Mask = std::uint32_t;
+constexpr int kMaxThreads = 32;
+
+Mask bit(int t) { return Mask{1} << static_cast<unsigned>(t); }
+
+using VClock = std::vector<std::uint32_t>;
+
+void join_into(VClock& dst, const VClock& src) {
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = std::max(dst[i], src[i]);
+  }
+}
+
+/// Mutable execution state, snapshotted per DFS frame. Split in two halves:
+/// the *semantic* state (pc / vars / chans — what defines reachability) and
+/// the *instrumentation* (vector clocks and access records for the race
+/// check, dependency clocks for DPOR).
+struct Exec {
+  // semantic
+  std::vector<std::size_t> pc;
+  std::vector<std::uint64_t> vars;
+  std::vector<std::uint32_t> chan_len;     // messages currently queued
+  std::vector<std::uint32_t> chan_popped;  // total receives so far
+  // race instrumentation (acquire/release happens-before)
+  std::vector<VClock> tvc;                 // per-thread clock
+  std::vector<VClock> var_vc;              // per-var sync clock
+  std::vector<std::vector<VClock>> chan_vc;  // per-chan send snapshots
+  struct Rec {
+    int tid;
+    std::uint32_t epoch;
+    std::uint64_t lo, hi;
+    bool w;
+    const Op* op;
+  };
+  std::vector<std::vector<Rec>> bufrec;    // per-buf access history
+  // DPOR dependency clocks (count *steps* per thread). Two per object:
+  // counter increments commute and never block each other, so add/add pairs
+  // are independent — an add joins only the non-add history of its object,
+  // every other op joins the full history.
+  std::vector<VClock> dvc;                 // clock of thread's last step
+  std::vector<VClock> obj_vc;              // join of ALL steps on the object
+  std::vector<VClock> obj_nonadd_vc;       // join of the non-add steps only
+  std::vector<std::uint32_t> steps_of;     // steps executed per thread
+
+  std::uint64_t hash_semantic() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    for (std::size_t v : pc) mix(v);
+    for (std::uint64_t v : vars) mix(v);
+    for (std::uint32_t v : chan_len) mix(v);
+    return h;
+  }
+};
+
+/// One executed step in the current DFS trace.
+struct StepInfo {
+  int tid = -1;
+  int obj = -1;                 // var id, or nvars + chan id
+  const Op* op = nullptr;       // the sync op of the step
+  VClock clock;                 // DPOR dependency clock of this step
+  Mask enabled_before = 0;      // enabled threads in the pre-state
+  Mask backtrack = 0;
+  Mask done = 0;
+  Mask sleep = 0;               // sleep set the state was entered with
+};
+
+class Explorer {
+ public:
+  Explorer(const Program& p, const Options& opt) : p_(p), opt_(opt) {
+    p_.validate();
+    nthreads_ = static_cast<int>(p_.threads.size());
+    SRM_CHECK_MSG(nthreads_ >= 1 && nthreads_ <= kMaxThreads,
+                  "mc: thread count " << nthreads_ << " out of range");
+    nvars_ = static_cast<int>(p_.var_names.size());
+  }
+
+  Result run() {
+    init_exec();
+    explore(0);
+    res_.distinct_states = seen_.size();
+    return std::move(res_);
+  }
+
+ private:
+  // --- initial state --------------------------------------------------------
+  void init_exec() {
+    Exec& e = x_;
+    e.pc.assign(static_cast<std::size_t>(nthreads_), 0);
+    e.vars = p_.var_init;
+    e.chan_len.assign(p_.chan_names.size(), 0);
+    e.chan_popped.assign(p_.chan_names.size(), 0);
+    e.tvc.assign(static_cast<std::size_t>(nthreads_),
+                 VClock(static_cast<std::size_t>(nthreads_), 0));
+    for (int t = 0; t < nthreads_; ++t) {
+      e.tvc[static_cast<std::size_t>(t)][static_cast<std::size_t>(t)] = 1;
+    }
+    e.var_vc.assign(p_.var_names.size(),
+                    VClock(static_cast<std::size_t>(nthreads_), 0));
+    e.chan_vc.assign(p_.chan_names.size(), {});
+    e.bufrec.assign(p_.buf_names.size(), {});
+    e.dvc.assign(static_cast<std::size_t>(nthreads_),
+                 VClock(static_cast<std::size_t>(nthreads_), 0));
+    e.obj_vc.assign(p_.var_names.size() + p_.chan_names.size(),
+                    VClock(static_cast<std::size_t>(nthreads_), 0));
+    e.obj_nonadd_vc = e.obj_vc;
+    e.steps_of.assign(static_cast<std::size_t>(nthreads_), 0);
+    // Threads begin running immediately: leading buffer accesses (before any
+    // synchronization) execute up front, exactly as a real thread would
+    // reach its first blocking point.
+    for (int t = 0; t < nthreads_; ++t) run_accesses(t);
+  }
+
+  const std::vector<Op>& ops(int t) const {
+    return p_.threads[static_cast<std::size_t>(t)].ops;
+  }
+
+  bool finished(int t) const {
+    return x_.pc[static_cast<std::size_t>(t)] >= ops(t).size();
+  }
+
+  const Op& next_op(int t) const {
+    return ops(t)[x_.pc[static_cast<std::size_t>(t)]];
+  }
+
+  static int obj_of(const Op& op, int nvars) {
+    if (is_access(op.kind)) return -1;
+    if (op.kind == OpKind::send || op.kind == OpKind::recv) {
+      return nvars + op.obj;
+    }
+    return op.obj;
+  }
+
+  bool guard_ok(const Op& op) const {
+    std::uint64_t v = 0;
+    switch (op.kind) {
+      case OpKind::await_eq:
+        v = x_.vars[static_cast<std::size_t>(op.obj)];
+        return v == op.a;
+      case OpKind::await_ne:
+        v = x_.vars[static_cast<std::size_t>(op.obj)];
+        return v != op.a;
+      case OpKind::await_ge:
+      case OpKind::wait_dec:
+        v = x_.vars[static_cast<std::size_t>(op.obj)];
+        return v >= op.a;
+      case OpKind::recv:
+        return x_.chan_len[static_cast<std::size_t>(op.obj)] > 0;
+      default:
+        return true;
+    }
+  }
+
+  Mask enabled_mask() const {
+    Mask m = 0;
+    for (int t = 0; t < nthreads_; ++t) {
+      if (!finished(t) && guard_ok(next_op(t))) m |= bit(t);
+    }
+    return m;
+  }
+
+  Mask runnable_mask() const {
+    Mask m = 0;
+    for (int t = 0; t < nthreads_; ++t) {
+      if (!finished(t)) m |= bit(t);
+    }
+    return m;
+  }
+
+  // --- access execution + race check ---------------------------------------
+  void run_accesses(int t) {
+    auto& pc = x_.pc[static_cast<std::size_t>(t)];
+    const auto& tops = ops(t);
+    while (pc < tops.size() && is_access(tops[pc].kind)) {
+      check_access(t, tops[pc]);
+      ++pc;
+    }
+  }
+
+  void check_access(int t, const Op& op) {
+    bool w = op.kind == OpKind::write;
+    auto& recs = x_.bufrec[static_cast<std::size_t>(op.obj)];
+    const VClock& vc = x_.tvc[static_cast<std::size_t>(t)];
+    std::uint32_t epoch = vc[static_cast<std::size_t>(t)];
+    std::size_t kept = 0;
+    for (Exec::Rec& r : recs) {
+      bool ordered =
+          r.tid == t || vc[static_cast<std::size_t>(r.tid)] >= r.epoch;
+      if (!ordered && r.lo < op.b && op.a < r.hi && (w || r.w)) {
+        report_race(r, t, op);
+      }
+      bool subsumed =
+          ordered && op.a <= r.lo && r.hi <= op.b && (w || !r.w);
+      if (!subsumed) recs[kept++] = r;
+    }
+    recs.resize(kept);
+    recs.push_back(Exec::Rec{t, epoch, op.a, op.b, w, &op});
+  }
+
+  void report_race(const Exec::Rec& prev, int t, const Op& op) {
+    ++res_.races_found;
+    std::string key = p_.buf_names[static_cast<std::size_t>(op.obj)] + "|" +
+                      prev.op->label + "|" + op.label;
+    if (!race_keys_.insert(key).second) return;
+    if (res_.races.size() >= opt_.max_reports) return;
+    Race r;
+    r.buf = p_.buf_names[static_cast<std::size_t>(op.obj)];
+    r.lo = std::max(prev.lo, op.a);
+    r.hi = std::min(prev.hi, op.b);
+    r.first_thread = p_.threads[static_cast<std::size_t>(prev.tid)].name;
+    r.second_thread = p_.threads[static_cast<std::size_t>(t)].name;
+    r.first_op = prev.op->label;
+    r.second_op = op.label;
+    r.schedule = current_schedule();
+    res_.races.push_back(std::move(r));
+  }
+
+  std::vector<int> current_schedule() const {
+    std::vector<int> s;
+    s.reserve(trace_.size());
+    for (const StepInfo& st : trace_) s.push_back(st.tid);
+    return s;
+  }
+
+  // --- step execution -------------------------------------------------------
+  /// Execute thread @p t's next sync op plus its trailing buffer accesses.
+  /// The caller guarantees the guard holds.
+  void exec_step(int t) {
+    Exec& e = x_;
+    auto ts = static_cast<std::size_t>(t);
+    const Op& op = next_op(t);
+    std::size_t o = static_cast<std::size_t>(op.obj);
+    switch (op.kind) {
+      case OpKind::set:
+        e.vars[o] = op.a;
+        join_into(e.var_vc[o], e.tvc[ts]);
+        ++e.tvc[ts][ts];
+        break;
+      case OpKind::add:
+        e.vars[o] += op.a;
+        join_into(e.var_vc[o], e.tvc[ts]);
+        ++e.tvc[ts][ts];
+        break;
+      case OpKind::await_eq:
+      case OpKind::await_ne:
+      case OpKind::await_ge:
+        join_into(e.tvc[ts], e.var_vc[o]);
+        break;
+      case OpKind::wait_dec:
+        join_into(e.tvc[ts], e.var_vc[o]);
+        e.vars[o] -= op.a;
+        join_into(e.var_vc[o], e.tvc[ts]);
+        ++e.tvc[ts][ts];
+        break;
+      case OpKind::send:
+        e.chan_vc[o].push_back(e.tvc[ts]);
+        ++e.tvc[ts][ts];
+        ++e.chan_len[o];
+        break;
+      case OpKind::recv: {
+        std::uint32_t idx = e.chan_popped[o]++;
+        --e.chan_len[o];
+        join_into(e.tvc[ts], e.chan_vc[o][idx]);
+        break;
+      }
+      case OpKind::write:
+      case OpKind::read:
+        SRM_CHECK_MSG(false, "mc: access op reached exec_step");
+    }
+    ++e.pc[ts];
+    run_accesses(t);
+    // DPOR dependency clock: this step depends on the thread's previous step
+    // and on the same-object steps it does not commute with (everything for
+    // a non-add op; only the non-add history for an add).
+    auto obj = static_cast<std::size_t>(obj_of(op, nvars_));
+    std::uint32_t n = ++e.steps_of[ts];
+    VClock k = e.dvc[ts];
+    join_into(k, op.kind == OpKind::add ? e.obj_nonadd_vc[obj]
+                                        : e.obj_vc[obj]);
+    k[ts] = n;
+    e.dvc[ts] = k;
+    join_into(e.obj_vc[obj], k);
+    if (op.kind != OpKind::add) e.obj_nonadd_vc[obj] = std::move(k);
+  }
+
+  // --- DPOR bookkeeping -----------------------------------------------------
+  /// True iff trace step @p i happens-before (in the dependency order) the
+  /// next transition of thread @p p.
+  bool step_hb_next(std::size_t i, int p) const {
+    const StepInfo& s = trace_[i];
+    auto ti = static_cast<std::size_t>(s.tid);
+    return x_.dvc[static_cast<std::size_t>(p)][ti] >= s.clock[ti];
+  }
+
+  /// Flanagan–Godefroid backtrack-set updates for the current state: for
+  /// every unfinished thread p, find the most recent trace step dependent
+  /// with p's next transition and not ordered before it; that prefix must
+  /// also try either p itself or some thread whose later steps lead into
+  /// p's next transition.
+  void update_backtracks() {
+    for (int pth = 0; pth < nthreads_; ++pth) {
+      if (finished(pth)) continue;
+      const Op& nop = next_op(pth);
+      int obj = obj_of(nop, nvars_);
+      bool next_is_add = nop.kind == OpKind::add;
+      for (std::size_t i = trace_.size(); i-- > 0;) {
+        const StepInfo& s = trace_[i];
+        if (s.obj != obj || s.tid == pth) continue;
+        if (next_is_add && s.op->kind == OpKind::add) continue;  // commute
+        // This is the most recent step dependent with p's next transition;
+        // if it is already ordered before it the order is forced — deeper
+        // reversals are found recursively. Either way the scan stops here.
+        if (step_hb_next(i, pth)) break;
+        Mask cand = 0;
+        for (std::size_t j = i + 1; j < trace_.size(); ++j) {
+          if (step_hb_next(j, pth)) cand |= bit(trace_[j].tid);
+        }
+        cand |= bit(pth);
+        cand &= s.enabled_before;
+        StepInfo& si = trace_[i];
+        if ((cand & si.backtrack) == 0) {
+          if (cand != 0) {
+            si.backtrack |= cand & (~cand + 1);  // lowest candidate bit
+          } else {
+            si.backtrack |= s.enabled_before;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  bool independent_next(int q, int pth) const {
+    if (finished(q) || finished(pth)) return true;
+    const Op& a = next_op(q);
+    const Op& b = next_op(pth);
+    if (obj_of(a, nvars_) != obj_of(b, nvars_)) return true;
+    return a.kind == OpKind::add && b.kind == OpKind::add;
+  }
+
+  // --- the search -----------------------------------------------------------
+  void explore(Mask sleep) {
+    if (res_.budget_exhausted) return;
+    seen_.insert(x_.hash_semantic());
+    res_.max_depth = std::max<std::uint64_t>(res_.max_depth, trace_.size());
+
+    Mask runnable = runnable_mask();
+    // Backtrack updates must run even in blocked (deadlock) states: the step
+    // that disabled a waiting thread is dependent with its pending await, and
+    // the alternative where the await ran first still needs exploring.
+    if (opt_.dpor && runnable != 0) update_backtracks();
+    if (runnable == 0) {
+      ++res_.traces;
+      return;
+    }
+    Mask enabled = enabled_mask();
+    if (enabled == 0) {
+      ++res_.traces;
+      report_deadlock(runnable);
+      return;
+    }
+
+    if (!opt_.dpor) {
+      Exec saved = x_;
+      for (int t = 0; t < nthreads_; ++t) {
+        if ((enabled & bit(t)) == 0) continue;
+        if (res_.budget_exhausted) return;
+        take_step(t, enabled, 0);
+        explore(0);
+        trace_.pop_back();
+        x_ = saved;
+      }
+      return;
+    }
+
+    Mask pickable = enabled & ~sleep;
+    if (pickable == 0) {
+      ++res_.sleep_cut;
+      return;
+    }
+    Mask suppressed = 0;
+
+    // Seed this state's backtrack set with one enabled thread outside the
+    // sleep set; deeper levels extend it through the StepInfo trace entry
+    // (update_backtracks writes trace_[d].backtrack for prefix depth d).
+    Exec saved = x_;
+    Mask backtrack = bit(std::countr_zero(pickable));
+    Mask done = 0;
+    while (true) {
+      suppressed |= backtrack & ~done & sleep;
+      Mask avail = backtrack & ~done & ~sleep;
+      if (avail == 0) break;
+      if (res_.budget_exhausted) return;
+      int t = std::countr_zero(avail);
+      done |= bit(t);
+      Mask child_sleep = 0;
+      if (opt_.sleep_sets) {
+        Mask keep = (sleep | (done & ~bit(t))) & runnable;
+        for (int q = 0; q < nthreads_; ++q) {
+          if ((keep & bit(q)) == 0) continue;
+          if (independent_next(q, t)) child_sleep |= bit(q);
+        }
+      }
+      take_step(t, enabled, sleep);
+      explore(child_sleep);
+      // Deeper levels add required alternatives to this state's backtrack
+      // set via the trace entry; merge before the entry is popped.
+      backtrack |= trace_.back().backtrack;
+      trace_.pop_back();
+      x_ = saved;
+    }
+    res_.sleep_cut +=
+        static_cast<std::uint64_t>(std::popcount(suppressed & ~done));
+  }
+
+  void take_step(int t, Mask enabled, Mask sleep) {
+    ++res_.transitions;
+    if (res_.transitions >= opt_.max_transitions) {
+      res_.budget_exhausted = true;
+    }
+    StepInfo s;
+    s.tid = t;
+    s.op = &next_op(t);
+    s.obj = obj_of(*s.op, nvars_);
+    s.enabled_before = enabled;
+    s.sleep = sleep;
+    trace_.push_back(std::move(s));
+    exec_step(t);
+    trace_.back().clock = x_.dvc[static_cast<std::size_t>(t)];
+  }
+
+  void report_deadlock(Mask runnable) {
+    ++res_.deadlocks_found;
+    if (!opt_.check_deadlock) return;
+    std::string key;
+    std::vector<std::string> blocked;
+    for (int t = 0; t < nthreads_; ++t) {
+      if ((runnable & bit(t)) == 0) continue;
+      std::string line = p_.threads[static_cast<std::size_t>(t)].name +
+                         " blocked at '" + next_op(t).label + "'";
+      key += line + ";";
+      blocked.push_back(std::move(line));
+    }
+    if (!deadlock_keys_.insert(key).second) return;
+    if (res_.deadlocks.size() >= opt_.max_reports) return;
+    Deadlock d;
+    d.schedule = current_schedule();
+    d.blocked = std::move(blocked);
+    res_.deadlocks.push_back(std::move(d));
+  }
+
+  Program p_;
+  Options opt_;
+  int nthreads_ = 0;
+  int nvars_ = 0;
+  Exec x_;
+  std::vector<StepInfo> trace_;
+  Result res_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::set<std::string> race_keys_;
+  std::set<std::string> deadlock_keys_;
+};
+
+}  // namespace
+
+std::string Race::to_string() const {
+  std::ostringstream os;
+  os << "race on '" << buf << "' bytes [" << lo << "," << hi << "): "
+     << second_thread << " '" << second_op << "' unordered with "
+     << first_thread << " '" << first_op << "' (schedule of "
+     << schedule.size() << " steps:";
+  for (int t : schedule) os << " " << t;
+  os << ")";
+  return os.str();
+}
+
+std::string Deadlock::to_string() const {
+  std::ostringstream os;
+  os << "deadlock after " << schedule.size() << " steps:";
+  for (const std::string& b : blocked) os << "\n  " << b;
+  return os.str();
+}
+
+std::string Result::summary() const {
+  std::ostringstream os;
+  os << "traces=" << traces << " transitions=" << transitions
+     << " states=" << distinct_states << " sleep_cut=" << sleep_cut
+     << " max_depth=" << max_depth << " races=" << races_found
+     << " deadlocks=" << deadlocks_found
+     << (budget_exhausted ? " [BUDGET EXHAUSTED]" : "");
+  return os.str();
+}
+
+Result check(const Program& p, const Options& opt) {
+  return Explorer(p, opt).run();
+}
+
+}  // namespace srm::mc

@@ -1,0 +1,93 @@
+// srm::mc — explicit-state model checker over the protocol IR (ir.hpp).
+//
+// check() enumerates interleavings of a Program's threads and verifies, on
+// every reachable execution:
+//   * race-freedom     — no two conflicting buffer accesses (one a write,
+//     overlapping bytes, different threads) without a happens-before edge
+//     through the protocol's own flags / counters / messages. Buffer-slot
+//     reuse before all readers cleared their READY flags is exactly such a
+//     race (the refill write is unordered with the straggler's read);
+//   * deadlock-freedom — no reachable state where some thread is blocked
+//     (await / wait_dec / recv) and nothing can run.
+//
+// Exploration is depth-first with two modes:
+//   * naive (Options::dpor = false): every enabled thread is tried at every
+//     state — the full interleaving tree, exponential, used as the baseline
+//     the reduction is measured against;
+//   * DPOR (default): dynamic partial-order reduction in the style of
+//     Flanagan & Godefroid, with persistent (backtrack) sets computed from
+//     the dependency relation observed in the executed trace, plus sleep
+//     sets. Two operations are dependent iff they act on the same
+//     synchronization object (or belong to the same thread); buffer accesses
+//     never branch the search at all — they are folded into the adjacent
+//     synchronization step of their thread, which is sound because they
+//     neither block nor change sync state, and the vector-clock race check
+//     is insensitive to where in the step they are replayed.
+//
+// Every counterexample carries the schedule (sequence of thread steps) that
+// reaches it; replay.hpp turns that schedule into a concrete sim::Engine run
+// against the real shm/chk machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/ir.hpp"
+
+namespace srm::mc {
+
+struct Options {
+  bool dpor = true;         ///< false: naive full enumeration (baseline)
+  bool sleep_sets = true;   ///< extra reduction on top of DPOR
+  bool check_deadlock = true;  ///< report blocked states (off for programs
+                               ///< extracted from traces, whose await
+                               ///< thresholds are approximate)
+  std::uint64_t max_transitions = 5'000'000;  ///< exploration budget
+  std::size_t max_reports = 8;  ///< distinct counterexamples kept per kind
+};
+
+/// Two unordered conflicting accesses, plus the schedule reaching them.
+/// `schedule[i]` is the thread that runs step i; the racing access executes
+/// during the final step.
+struct Race {
+  std::string buf;
+  std::uint64_t lo = 0, hi = 0;
+  std::string first_thread, second_thread;
+  std::string first_op, second_op;
+  std::vector<int> schedule;
+  std::string to_string() const;
+};
+
+/// A reachable blocked state: every unfinished thread is stuck on its guard.
+struct Deadlock {
+  std::vector<int> schedule;
+  std::vector<std::string> blocked;  ///< "rank1.2 blocked at 'await f==1'"
+  std::string to_string() const;
+};
+
+struct Result {
+  std::uint64_t traces = 0;        ///< maximal executions fully explored
+  std::uint64_t transitions = 0;   ///< thread steps executed
+  std::uint64_t distinct_states = 0;  ///< distinct (pc, vars, chans) seen
+  std::uint64_t sleep_cut = 0;     ///< branches suppressed by sleep sets
+  std::uint64_t max_depth = 0;     ///< longest execution (steps)
+  std::uint64_t races_found = 0;   ///< total race observations (pre-dedupe)
+  std::uint64_t deadlocks_found = 0;
+  bool budget_exhausted = false;
+  std::vector<Race> races;         ///< deduped, at most max_reports
+  std::vector<Deadlock> deadlocks;
+
+  /// Exhaustively verified clean: no counterexamples and the search space
+  /// was fully covered within budget.
+  bool ok() const {
+    return races.empty() && deadlocks.empty() && !budget_exhausted;
+  }
+  std::string summary() const;
+};
+
+/// Explore @p p under @p opt. Throws util::CheckError only on malformed
+/// programs (validate()); protocol failures are returned, never thrown.
+Result check(const Program& p, const Options& opt = {});
+
+}  // namespace srm::mc

@@ -1,0 +1,637 @@
+#include "mc/protocols.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace srm::mc {
+namespace {
+
+/// Emits one protocol instance into a Program. Object names carry a prefix
+/// so sequential compositions (allgather = gather + bcast) keep their phases
+/// on distinct synchronization state while sharing the rank threads.
+struct Builder {
+  Program& p;
+  Shape sh;
+  std::string x;  ///< object-name prefix ("", "ga.", "bc.", ...)
+
+  int T() const { return sh.tasks; }
+  int C() const { return sh.chunks; }
+  /// Model width of a shared buffer in bytes: one byte per local task, so
+  /// slice protocols (scatter/gather) get per-task disjoint ranges.
+  std::uint64_t W() const { return static_cast<std::uint64_t>(sh.tasks); }
+
+  std::string id(const std::string& s) const { return x + s; }
+  static std::string num(int v) { return std::to_string(v); }
+
+  int rk(int n, int l) { return p.thread("r" + num(n) + "." + num(l)); }
+  int nic(int n) { return p.thread("nic" + num(n)); }
+  /// The origin-side adapter engine of node n: re-reads a put's source
+  /// buffer, bumps the origin counter, then forwards the put on the wire.
+  int adp(int n) { return p.thread("adp" + num(n)); }
+
+  int ready(int n, int s, int l) {
+    return p.var(id("ready" + num(n) + ".s" + num(s) + "[" + num(l) + "]"));
+  }
+  int bb(int n, int s) { return p.buf(id("bb" + num(n) + ".s" + num(s))); }
+
+  // --- Fig. 3: SMP broadcast chunk, two buffers, per-consumer READY flags --
+  /// Leader fills the shared buffer (optionally reading @p src first) and
+  /// releases the consumers; consumers copy out and clear their flag.
+  /// @p srcw: bytes of @p src covered (0: the default node width W()) —
+  /// allgather's broadcast half reads the full gathered buffer.
+  void smp_fill_chunk(int n, int c, int src, bool slice = false,
+                      std::uint64_t srcw = 0) {
+    int s = c % 2;
+    if (T() == 1) return;  // no local fan-out
+    int ld = rk(n, 0);
+    for (int l = 1; l < T(); ++l) p.await_eq(ld, ready(n, s, l), 0);
+    if (src >= 0) p.read(ld, src, 0, srcw ? srcw : W());
+    p.write(ld, bb(n, s), 0, W());
+    for (int l = 1; l < T(); ++l) p.set(ld, ready(n, s, l), 1);
+    if (slice) p.read(ld, bb(n, s), 0, 1);  // leader copies its own slice
+    for (int l = 1; l < T(); ++l) {
+      int t = rk(n, l);
+      p.await_eq(t, ready(n, s, l), 1);
+      if (slice) {
+        p.read(t, bb(n, s), static_cast<std::uint64_t>(l),
+               static_cast<std::uint64_t>(l) + 1);
+      } else {
+        p.read(t, bb(n, s), 0, W());
+      }
+      p.set(t, ready(n, s, l), 0);
+    }
+  }
+
+  /// Zero-copy variant: consumers (and the leader) read straight out of the
+  /// landing buffer @p land a LAPI put deposited — no staging copy.
+  void smp_shared_chunk(int n, int c, int land, bool slice = false) {
+    int s = c % 2;
+    int ld = rk(n, 0);
+    if (T() == 1) {
+      p.read(ld, land, 0, slice ? 1 : W());
+      return;
+    }
+    for (int l = 1; l < T(); ++l) p.await_eq(ld, ready(n, s, l), 0);
+    for (int l = 1; l < T(); ++l) p.set(ld, ready(n, s, l), 1);
+    p.read(ld, land, 0, slice ? 1 : W());
+    for (int l = 1; l < T(); ++l) {
+      int t = rk(n, l);
+      p.await_eq(t, ready(n, s, l), 1);
+      if (slice) {
+        p.read(t, land, static_cast<std::uint64_t>(l),
+               static_cast<std::uint64_t>(l) + 1);
+      } else {
+        p.read(t, land, 0, W());
+      }
+      p.set(t, ready(n, s, l), 0);
+    }
+  }
+
+  // --- barrier: flat SMP flags + recursive-doubling round counters --------
+  void barrier() {
+    auto bar = [&](int n, int l) {
+      return p.var(id("bar" + num(n) + "[" + num(l) + "]"));
+    };
+    for (int n = 0; n < sh.nodes; ++n) {
+      int m = rk(n, 0);
+      for (int l = 1; l < T(); ++l) {
+        int w = rk(n, l);
+        p.set(w, bar(n, l), 1);
+        p.await_eq(w, bar(n, l), 0);
+      }
+      for (int l = 1; l < T(); ++l) p.await_eq(m, bar(n, l), 1);
+    }
+    if (sh.nodes == 2) {
+      for (int n = 0; n < 2; ++n) {
+        int m = rk(n, 0);
+        p.send(m, p.chan(id("sig" + num(n))));      // put_signal to the peer
+        p.wait_dec(m, p.var(id("round" + num(n))), 1);
+      }
+      for (int n = 0; n < 2; ++n) {
+        p.recv(nic(n), p.chan(id("sig" + num(1 - n))));
+        p.add(nic(n), p.var(id("round" + num(n))), 1);
+      }
+    }
+    for (int n = 0; n < sh.nodes; ++n) {
+      int m = rk(n, 0);
+      for (int l = 1; l < T(); ++l) p.set(m, bar(n, l), 0);
+    }
+  }
+
+  // --- broadcast: credit-guarded landing pair + Fig. 3 locally ------------
+  /// @p src: shared buffer the root reads from (-1: a private user buffer).
+  /// @p srcw: bytes of @p src the broadcast covers (0: W()).
+  void bcast(int src = -1, std::uint64_t srcw = 0) {
+    if (sh.nodes == 1) {
+      for (int c = 0; c < C(); ++c) smp_fill_chunk(0, c, src, false, srcw);
+      return;
+    }
+    int root = rk(0, 0), child = rk(1, 0);
+    int put01 = p.chan(id("put01")), cred10 = p.chan(id("cred10"));
+    int org = -1, oput = -1;
+    if (src >= 0) {
+      org = p.var(id("org"));
+      oput = p.chan(id("oput"));
+    }
+    for (int c = 0; c < C(); ++c) {
+      int s = c % 2;
+      int freev = p.var(id("free.s" + num(s)), 1);  // landing credits
+      int arrv = p.var(id("arr.s" + num(s)));
+      int land = p.buf(id("land.s" + num(s)));
+      // Root leader: consume a credit, put, then broadcast locally (Fig. 4
+      // steps 1 and 2).
+      p.wait_dec(root, freev, 1);
+      p.send(root, src >= 0 ? oput : put01);
+      smp_fill_chunk(0, c, src, false, srcw);
+      if (src >= 0) {
+        int a = adp(0);
+        p.recv(a, oput);
+        p.read(a, src, 0, srcw ? srcw : W());
+        p.add(a, org, 1);
+        p.send(a, put01);
+      }
+      // Child NIC: the deposit lands and the arrival counter bumps.
+      p.recv(nic(1), put01);
+      p.write(nic(1), land, 0, W());
+      p.add(nic(1), arrv, 1);
+      // Child leader: wait for the chunk, zero-copy SMP broadcast, then
+      // return the credit once every consumer cleared READY (step 3).
+      p.wait_dec(child, arrv, 1);
+      smp_shared_chunk(1, c, land);
+      for (int l = 1; l < T(); ++l) p.await_eq(child, ready(1, s, l), 0);
+      p.send(child, cred10);
+      p.recv(nic(0), cred10);
+      p.add(nic(0), freev, 1);
+    }
+    if (src >= 0) p.wait_dec(root, org, static_cast<std::uint64_t>(C()));
+  }
+
+  // --- Fig. 2 reduce + credit-guarded landing pair upward -----------------
+  /// Returns the root's result buffer (the scatter half of reduce_scatter
+  /// reads it).
+  int reduce() {
+    int res = p.buf(id("res0"));
+    auto pub = [&](int n, int l) {
+      return p.var(id("pub" + num(n) + "[" + num(l) + "]"));
+    };
+    auto cons = [&](int n, int s, int l) {
+      return p.var(id("cons" + num(n) + ".s" + num(s) + "[" + num(l) + "]"));
+    };
+    auto slot = [&](int n, int s, int l) {
+      return p.buf(id("slot" + num(n) + ".s" + num(s) + "[" + num(l) + "]"));
+    };
+    int redfree = -1, outorg = -1, oput1 = -1, data10 = -1, cred01 = -1;
+    if (sh.nodes == 2) {
+      redfree = p.var(id("free"), 2);  // both landing slots start free
+      outorg = p.var(id("outorg"));
+      oput1 = p.chan(id("oput1"));
+      data10 = p.chan(id("data10"));
+      cred01 = p.chan(id("cred01"));
+    }
+    int inflight = 0;
+    for (int c = 0; c < C(); ++c) {
+      int s = c % 2;
+      for (int n = 0; n < sh.nodes; ++n) {
+        // Participants: wait for the slot's previous consumer, publish.
+        for (int l = 1; l < T(); ++l) {
+          int t = rk(n, l);
+          if (c >= 2) {
+            p.await_ge(t, cons(n, s, l),
+                       static_cast<std::uint64_t>(c / 2));
+          }
+          p.write(t, slot(n, s, l), 0, W());
+          p.add(t, pub(n, l), 1);
+        }
+        int ld = rk(n, 0);
+        // Child leader's output-slot reuse gate (put of c-2 must have left).
+        if (n == 1 && inflight == 2) {
+          p.wait_dec(ld, outorg, 1);
+          --inflight;
+        }
+        int dst = n == 0 ? res : p.buf(id("out.s" + num(s)));
+        if (T() == 1) {
+          p.write(ld, dst, 0, W());  // node result is just our own data
+        } else {
+          for (int l = 1; l < T(); ++l) {
+            p.await_ge(ld, pub(n, l), static_cast<std::uint64_t>(c) + 1);
+            p.read(ld, slot(n, s, l), 0, W());
+            p.write(ld, dst, 0, W());
+            p.add(ld, cons(n, s, l), 1);
+          }
+        }
+      }
+      if (sh.nodes == 2) {
+        int child = rk(1, 0), ld0 = rk(0, 0);
+        int out = p.buf(id("out.s" + num(s)));
+        int rland = p.buf(id("land.s" + num(s)));
+        int arrived = p.var(id("arr"));
+        // Child: consume a landing credit, ship the node result up.
+        p.wait_dec(child, redfree, 1);
+        p.send(child, oput1);
+        ++inflight;
+        int a = adp(1);
+        p.recv(a, oput1);
+        p.read(a, out, 0, W());
+        p.add(a, outorg, 1);
+        p.send(a, data10);
+        p.recv(nic(0), data10);
+        p.write(nic(0), rland, 0, W());
+        p.add(nic(0), arrived, 1);
+        // Root: fold the landed chunk in, return the credit.
+        p.wait_dec(ld0, arrived, 1);
+        p.read(ld0, rland, 0, W());
+        p.write(ld0, res, 0, W());
+        p.send(ld0, cred01);
+        p.recv(nic(1), cred01);
+        p.add(nic(1), redfree, 1);
+      }
+    }
+    if (inflight > 0) {
+      p.wait_dec(rk(1, 0), outorg, static_cast<std::uint64_t>(inflight));
+    }
+    return res;
+  }
+
+  // --- allreduce: SMP reduce + pairwise exchange + SMP broadcast ----------
+  /// Single-chunk by construction (the recursive-doubling variant requires
+  /// the payload to fit one reduce chunk).
+  void allreduce() {
+    auto resbuf = [&](int n) { return p.buf(id("res" + num(n))); };
+    // Local combine on every node, Fig. 2 with one chunk.
+    for (int n = 0; n < sh.nodes; ++n) {
+      int ld = rk(n, 0);
+      for (int l = 1; l < T(); ++l) {
+        int t = rk(n, l);
+        p.write(t, p.buf(id("slot" + num(n) + "[" + num(l) + "]")), 0, W());
+        p.add(t, p.var(id("pub" + num(n) + "[" + num(l) + "]")), 1);
+      }
+      if (T() == 1) {
+        p.write(ld, resbuf(n), 0, W());
+      } else {
+        for (int l = 1; l < T(); ++l) {
+          p.await_ge(ld, p.var(id("pub" + num(n) + "[" + num(l) + "]")), 1);
+          p.read(ld, p.buf(id("slot" + num(n) + "[" + num(l) + "]")), 0,
+                 W());
+          p.write(ld, resbuf(n), 0, W());
+          p.add(ld, p.var(id("cons" + num(n) + "[" + num(l) + "]")), 1);
+        }
+      }
+    }
+    if (sh.nodes == 2) {
+      // One recursive-doubling round: both puts overlap on the wire; each
+      // master may only overwrite its result buffer (the put source!) after
+      // the origin counter says the adapter has read it.
+      for (int n = 0; n < 2; ++n) {
+        int m = rk(n, 0);
+        p.send(m, p.chan(id("oput" + num(n))));
+        int a = adp(n);
+        p.recv(a, p.chan(id("oput" + num(n))));
+        p.read(a, resbuf(n), 0, W());
+        p.add(a, p.var(id("org" + num(n))), 1);
+        p.send(a, p.chan(id("data" + num(n))));
+        int peer = nic(1 - n);
+        p.recv(peer, p.chan(id("data" + num(n))));
+        p.write(peer, p.buf(id("xbuf" + num(1 - n))), 0, W());
+        p.add(peer, p.var(id("arr" + num(1 - n))), 1);
+      }
+      for (int n = 0; n < 2; ++n) {
+        int m = rk(n, 0);
+        p.wait_dec(m, p.var(id("arr" + num(n))), 1);
+        p.wait_dec(m, p.var(id("org" + num(n))), 1);
+        p.read(m, p.buf(id("xbuf" + num(n))), 0, W());
+        p.write(m, resbuf(n), 0, W());
+      }
+    }
+    // SMP broadcast of the global result out of the masters' buffers.
+    for (int n = 0; n < sh.nodes; ++n) smp_fill_chunk(n, 0, resbuf(n));
+  }
+
+  // --- scatter: root puts node blocks into landing pairs, slices locally --
+  /// @p src: shared buffer at the root (-1: a private user buffer).
+  void scatter(int src = -1) {
+    int org = -1, oput = -1;
+    if (src >= 0 && sh.nodes == 2) {
+      org = p.var(id("sorg"));
+      oput = p.chan(id("soput"));
+    }
+    for (int c = 0; c < C(); ++c) {
+      int s = c % 2;
+      if (sh.nodes == 2) {
+        int root = rk(0, 0);
+        int freev = p.var(id("free.s" + num(s)), 1);
+        p.wait_dec(root, freev, 1);
+        p.send(root, src >= 0 ? oput : p.chan(id("put01")));
+        if (src >= 0) {
+          int a = adp(0);
+          p.recv(a, oput);
+          p.read(a, src, 0, W());
+          p.add(a, org, 1);
+          p.send(a, p.chan(id("put01")));
+        }
+        p.recv(nic(1), p.chan(id("put01")));
+        p.write(nic(1), p.buf(id("land.s" + num(s))), 0, W());
+        p.add(nic(1), p.var(id("arr.s" + num(s))), 1);
+      }
+      // Root node: distribute its own block slice-wise out of shared memory.
+      smp_fill_chunk(0, c, src, /*slice=*/true);
+      if (sh.nodes == 2) {
+        int child = rk(1, 0);
+        p.wait_dec(child, p.var(id("arr.s" + num(s))), 1);
+        smp_shared_chunk(1, c, p.buf(id("land.s" + num(s))), /*slice=*/true);
+        for (int l = 1; l < T(); ++l) p.await_eq(child, ready(1, s, l), 0);
+        p.send(child, p.chan(id("cred10")));
+        p.recv(nic(0), p.chan(id("cred10")));
+        p.add(nic(0), p.var(id("free.s" + num(s)), 1), 1);
+      }
+    }
+    if (src >= 0 && sh.nodes == 2) {
+      p.wait_dec(rk(0, 0), org, static_cast<std::uint64_t>(C()));
+    }
+  }
+
+  // --- gather: shared staging pair, filled/freed counters, direct puts ----
+  /// Returns the root's receive buffer (allgather's bcast reads it).
+  int gather() {
+    int res = p.buf(id("grecv"));
+    auto filled = [&](int n, int s) {
+      return p.var(id("filled" + num(n) + ".s" + num(s)));
+    };
+    auto freed = [&](int n, int s) {
+      return p.var(id("freed" + num(n) + ".s" + num(s)));
+    };
+    auto stage = [&](int n, int s) {
+      return p.buf(id("stage" + num(n) + ".s" + num(s)));
+    };
+    int outorg = -1, oput1 = -1, gdata = -1, gdone = -1;
+    if (sh.nodes == 2) {
+      // Stage 0: the root announces its receive buffer to the child leader.
+      p.send(rk(0, 0), p.chan(id("addr01")));
+      p.recv(nic(1), p.chan(id("addr01")));
+      p.add(nic(1), p.var(id("addrarr")), 1);
+      p.wait_dec(rk(1, 0), p.var(id("addrarr")), 1);
+      outorg = p.var(id("outorg"));
+      oput1 = p.chan(id("oput1"));
+      gdata = p.chan(id("gdata"));
+      gdone = p.var(id("done"));
+    }
+    std::vector<int> inflight_slots;
+    for (int c = 0; c < C(); ++c) {
+      int s = c % 2;
+      for (int n = 0; n < sh.nodes; ++n) {
+        // Every local waits out the slot's previous occupants, writes its
+        // slice, and bumps the filled counter.
+        for (int l = 0; l < T(); ++l) {
+          int t = rk(n, l);
+          p.await_ge(t, freed(n, s), static_cast<std::uint64_t>(c / 2));
+          p.write(t, stage(n, s), static_cast<std::uint64_t>(l),
+                  static_cast<std::uint64_t>(l) + 1);
+          p.add(t, filled(n, s), 1);
+        }
+        int ld = rk(n, 0);
+        p.await_ge(ld, filled(n, s),
+                   static_cast<std::uint64_t>(c / 2 + 1) *
+                       static_cast<std::uint64_t>(T()));
+        if (n == 0) {
+          // Root node: straight into the receive buffer.
+          p.read(ld, stage(0, s), 0, W());
+          p.write(ld, res, 0, W());
+          p.add(ld, freed(0, s), 1);
+        } else {
+          // Child leader: put the chunk into its final location; the freed
+          // bump waits for the origin counter (adapter done with the slot).
+          p.send(ld, oput1);
+          int a = adp(1);
+          p.recv(a, oput1);
+          p.read(a, stage(1, s), 0, W());
+          p.add(a, outorg, 1);
+          p.send(a, gdata);
+          p.recv(nic(0), gdata);
+          p.write(nic(0), res, W(), 2 * W());
+          p.add(nic(0), gdone, 1);
+          inflight_slots.push_back(s);
+          if (inflight_slots.size() >= 2) {
+            p.wait_dec(ld, outorg, 1);
+            p.add(ld, freed(1, inflight_slots.front()), 1);
+            inflight_slots.erase(inflight_slots.begin());
+          }
+        }
+      }
+    }
+    while (!inflight_slots.empty()) {
+      p.wait_dec(rk(1, 0), outorg, 1);
+      p.add(rk(1, 0), freed(1, inflight_slots.front()), 1);
+      inflight_slots.erase(inflight_slots.begin());
+    }
+    if (sh.nodes == 2) {
+      p.wait_dec(rk(0, 0), gdone, static_cast<std::uint64_t>(C()));
+    }
+    return res;
+  }
+};
+
+void emit(Program& p, Proto op, const Shape& sh) {
+  switch (op) {
+    case Proto::barrier:
+      Builder{p, sh, ""}.barrier();
+      break;
+    case Proto::bcast:
+      Builder{p, sh, ""}.bcast();
+      break;
+    case Proto::reduce:
+      Builder{p, sh, ""}.reduce();
+      break;
+    case Proto::allreduce:
+      Builder{p, sh, ""}.allreduce();
+      break;
+    case Proto::scatter:
+      Builder{p, sh, ""}.scatter();
+      break;
+    case Proto::gather:
+      Builder{p, sh, ""}.gather();
+      break;
+    case Proto::allgather: {
+      int res = Builder{p, sh, "ga."}.gather();
+      // The broadcast ships the whole gathered buffer, all nodes' slices.
+      Builder{p, sh, "bc."}.bcast(res, static_cast<std::uint64_t>(sh.nodes) *
+                                           static_cast<std::uint64_t>(sh.tasks));
+      break;
+    }
+    case Proto::reduce_scatter: {
+      int res = Builder{p, sh, "rd."}.reduce();
+      Builder{p, sh, "sc."}.scatter(res);
+      break;
+    }
+  }
+}
+
+Mutant make_mutant(const std::string& name, Proto op, Shape sh, bool race,
+                   bool deadlock) {
+  Mutant m;
+  m.name = name;
+  m.proto = op;
+  m.shape = sh;
+  m.program = build(op, sh);
+  m.program.name = name;
+  m.expect_race = race;
+  m.expect_deadlock = deadlock;
+  return m;
+}
+
+}  // namespace
+
+std::string Shape::to_string() const {
+  return std::to_string(nodes) + "x" + std::to_string(tasks) + "c" +
+         std::to_string(chunks);
+}
+
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::barrier: return "barrier";
+    case Proto::bcast: return "bcast";
+    case Proto::reduce: return "reduce";
+    case Proto::allreduce: return "allreduce";
+    case Proto::scatter: return "scatter";
+    case Proto::gather: return "gather";
+    case Proto::allgather: return "allgather";
+    case Proto::reduce_scatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+const std::vector<Proto>& all_protos() {
+  static const std::vector<Proto> kAll = {
+      Proto::barrier,  Proto::bcast,     Proto::reduce,
+      Proto::allreduce, Proto::scatter,  Proto::gather,
+      Proto::allgather, Proto::reduce_scatter};
+  return kAll;
+}
+
+Program build(Proto op, const Shape& sh) {
+  SRM_CHECK_MSG(sh.nodes == 1 || sh.nodes == 2,
+                "mc model supports 1 or 2 nodes, got " << sh.nodes);
+  SRM_CHECK_MSG(sh.tasks >= 1 && sh.chunks >= 1,
+                "bad shape " << sh.to_string());
+  Program p;
+  p.name = std::string(proto_name(op)) + "@" + sh.to_string();
+  emit(p, op, sh);
+  p.validate();
+  return p;
+}
+
+std::vector<Mutant> mutation_gauntlet() {
+  std::vector<Mutant> out;
+  auto add = [&out](Mutant m) { out.push_back(std::move(m)); };
+
+  // Fig. 3 broadcast: a child-node consumer that never clears READY wedges
+  // the child leader's credit-return gate, so the credit never flows back.
+  {
+    Mutant m = make_mutant("bcast.drop_ready_clear", Proto::bcast,
+                           Shape{2, 2, 1}, false, true);
+    m.program.drop_op("r1.1", "ready1.s0[1]:=0");
+    add(std::move(m));
+  }
+  // A leader that skips the slot-reuse acquire refills over the straggler's
+  // read; schedules where the straggler instead sees the refilled flag late
+  // strand it behind a flag nobody sets again, so both defects manifest.
+  {
+    Mutant m = make_mutant("bcast.refill_before_clear", Proto::bcast,
+                           Shape{1, 2, 3}, true, true);
+    m.program.drop_last_op("r0.0", "await ready0.s0[1]==0");
+    add(std::move(m));
+  }
+  // Flat barrier: a worker that never signals, and a master that never
+  // releases, both wedge the node.
+  {
+    Mutant m = make_mutant("barrier.drop_worker_signal", Proto::barrier,
+                           Shape{1, 2, 1}, false, true);
+    m.program.drop_op("r0.1", "bar0[1]:=1");
+    add(std::move(m));
+  }
+  {
+    Mutant m = make_mutant("barrier.drop_release", Proto::barrier,
+                           Shape{1, 2, 1}, false, true);
+    m.program.drop_op("r0.0", "bar0[1]:=0");
+    add(std::move(m));
+  }
+  // Recursive doubling: a dropped zero-byte put stalls the partner's round.
+  {
+    Mutant m = make_mutant("barrier.drop_round_signal", Proto::barrier,
+                           Shape{2, 1, 1}, false, true);
+    m.program.drop_op("r0.0", "send sig0");
+    add(std::move(m));
+  }
+  // Fig. 2 reduce: publishing the slot before writing it lets the leader
+  // combine garbage (reordered counter bump).
+  {
+    Mutant m = make_mutant("reduce.publish_before_write", Proto::reduce,
+                           Shape{1, 2, 1}, true, false);
+    m.program.swap_with_prev("r0.1", "pub0[1]+=1");
+    add(std::move(m));
+  }
+  // Fig. 2 slot reuse: skipping the consumed-counter gate overwrites a slot
+  // the leader is still combining from.
+  {
+    Mutant m = make_mutant("reduce.drop_consumed_gate", Proto::reduce,
+                           Shape{1, 2, 3}, true, false);
+    m.program.drop_op("r0.1", "await cons0.s0[1]>=1");
+    add(std::move(m));
+  }
+  // Inter-node reduce: a skipped landing credit lets the child's put deposit
+  // over a slot the root is still reading.
+  {
+    Mutant m = make_mutant("reduce.drop_credit_wait", Proto::reduce,
+                           Shape{2, 1, 3}, true, false);
+    m.program.drop_op("r1.0", "waitdec free-1");
+    add(std::move(m));
+  }
+  // Allreduce: combining into the result buffer while it is still the
+  // source of an in-flight put (skipped origin-counter wait).
+  {
+    Mutant m = make_mutant("allreduce.drop_origin_wait", Proto::allreduce,
+                           Shape{2, 1, 1}, true, false);
+    m.program.drop_op("r0.0", "waitdec org0-1");
+    add(std::move(m));
+  }
+  // Allreduce: the NIC signalling arrival before the deposit is complete.
+  {
+    Mutant m = make_mutant("allreduce.signal_before_deposit",
+                           Proto::allreduce, Shape{2, 1, 1}, true, false);
+    m.program.swap_with_prev("nic1", "arr1+=1");
+    add(std::move(m));
+  }
+  // Gather: the leader moving a chunk before all local slices arrived.
+  {
+    Mutant m = make_mutant("gather.drop_filled_wait", Proto::gather,
+                           Shape{1, 2, 1}, true, false);
+    m.program.drop_op("r0.0", "await filled0.s0>=2");
+    add(std::move(m));
+  }
+  // Gather staging reuse: a local skipping the freed gate overwrites a slot
+  // the leader is still shipping.
+  {
+    Mutant m = make_mutant("gather.drop_freed_gate", Proto::gather,
+                           Shape{1, 2, 3}, true, false);
+    m.program.drop_op("r0.1", "await freed0.s0>=1");
+    add(std::move(m));
+  }
+  // Allgather: broadcasting the gathered buffer before the last remote
+  // chunks landed in it.
+  {
+    Mutant m = make_mutant("allgather.drop_done_wait", Proto::allgather,
+                           Shape{2, 1, 1}, true, false);
+    m.program.drop_op("r0.0", "waitdec ga.done-1");
+    add(std::move(m));
+  }
+  // Scatter: returning the landing credit before the consumers cleared
+  // READY lets the root's next put race the stragglers.
+  {
+    Mutant m = make_mutant("scatter.credit_before_clear", Proto::scatter,
+                           Shape{2, 2, 3}, true, false);
+    m.program.swap_with_prev("r1.0", "send cred10");
+    add(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace srm::mc

@@ -1,0 +1,73 @@
+// srm::mc — IR models of the eight SRM collectives.
+//
+// build() emits the synchronization skeleton that src/core actually executes
+// (smp.cpp / bcast.cpp / reduce.cpp / barrier.cpp / gather_scatter.cpp /
+// allreduce.cpp), specialized to a small configuration: READY flag pairs,
+// published/consumed counters, LAPI credit counters, and one "nic<n>" thread
+// per node with inbound deposits — puts land in the target's dispatcher
+// asynchronously, so their buffer writes and counter bumps belong to that
+// thread, ordered per link by the channel FIFO.
+//
+// Modeling conventions (kept deliberately structural):
+//   * rank threads are named "r<node>.<local>"; leaders are local 0 (and the
+//     root collectives are rooted at rank 0);
+//   * persistent sequence counters (smp_bc_seq, smp_red_base, ga_seq,
+//     bc_sent/bc_recv) start at zero — one collective call per program, which
+//     is what the per-op fresh prefix also gives the compositions;
+//   * private user buffers never appear (no cross-thread access, nothing to
+//     check); shared staging/landing/slot buffers all do;
+//   * an origin counter ("put has left the adapter") is modeled as the
+//     origin node's nic re-reading the source buffer and bumping the
+//     counter, which is exactly the reuse hazard the counter guards.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/ir.hpp"
+
+namespace srm::mc {
+
+/// A model configuration: nodes x tasks-per-node, pipeline depth in chunks.
+struct Shape {
+  int nodes = 1;
+  int tasks = 2;
+  int chunks = 1;
+  std::string to_string() const;  // "2x4c2"
+};
+
+enum class Proto : std::uint8_t {
+  barrier,
+  bcast,
+  reduce,
+  allreduce,
+  scatter,
+  gather,
+  allgather,
+  reduce_scatter,
+};
+inline constexpr int kProtoCount = 8;
+const char* proto_name(Proto p);
+/// All eight, in a stable order.
+const std::vector<Proto>& all_protos();
+
+/// Build the synchronization skeleton of @p p on @p shape (nodes must be 1
+/// or 2; tasks >= 1; chunks >= 1).
+Program build(Proto p, const Shape& shape);
+
+/// One seeded protocol bug: a named mutation the checker must flag.
+struct Mutant {
+  std::string name;   ///< "bcast.drop_credit_wait"
+  Proto proto{};
+  Shape shape;
+  Program program;    ///< the broken protocol
+  bool expect_race = false;      ///< at least one of these...
+  bool expect_deadlock = false;  ///< ...must be set and found
+};
+
+/// The mutation gauntlet: dropped flag clears, reordered counter bumps,
+/// skipped credit waits — every classic way to break the paper's handshakes.
+/// Each entry must yield a counterexample under check().
+std::vector<Mutant> mutation_gauntlet();
+
+}  // namespace srm::mc

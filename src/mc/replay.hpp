@@ -1,0 +1,65 @@
+// Cross-validation between the model checker and the simulator: replay a
+// Program — optionally pinned to a counterexample schedule check() produced —
+// as a concrete sim::Engine run against the real machinery. Every IR thread
+// becomes a spawned coroutine; vars become shm::SharedFlag objects (with real
+// store-propagation delay), buffers become chk::Checker-registered byte
+// regions, channels become FIFO queues carrying chk::MsgClock snapshots.
+//
+// A turn-token scheduler enforces the schedule as a prefix: step i may only
+// be taken by thread schedule[i]; once the schedule is exhausted every thread
+// free-runs under the engine's tie-break policy. The schedule never needs to
+// mention virtual time — when a scheduled step blocks on flag propagation the
+// engine simply advances the clock, and no other thread can jump the queue.
+//
+// Outcomes are read off the real detectors, not the model: a deadlock
+// counterexample must wedge the engine (Engine::run throws with the blocked
+// wait-points), and a race counterexample must reproduce as a chk::Checker
+// RaceReport. replay() is what turns a gauntlet mutant's abstract schedule
+// into a concrete failing test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chk/chk.hpp"
+#include "mc/ir.hpp"
+#include "sim/engine.hpp"
+
+namespace srm::mc {
+
+struct ReplayOptions {
+  /// Tie-break for the free-run tail (and any same-time wakeups during the
+  /// pinned prefix). `random` explores orderings FIFO never produces.
+  sim::TieBreak tiebreak = sim::TieBreak::fifo;
+  std::uint64_t seed = 0;
+  /// Run with the happens-before checker recording (off measures only
+  /// completion/deadlock).
+  bool checker = true;
+  /// Also export the checker's event trace (feeds mc/extract.hpp, closing
+  /// the model -> concrete -> model roundtrip).
+  bool trace = false;
+};
+
+struct ReplayResult {
+  bool completed = false;   ///< every thread ran to the end of its ops
+  bool deadlocked = false;  ///< the engine wedged (queue drained, threads left)
+  std::string deadlock;     ///< engine's blocked-wait-point dump
+  std::vector<chk::RaceReport> races;  ///< chk reports from the concrete run
+  std::uint64_t steps_pinned = 0;      ///< schedule steps actually consumed
+  std::uint64_t accesses_checked = 0;
+  std::uint64_t sync_ops = 0;
+  std::vector<chk::TraceEvent> trace;  ///< only with ReplayOptions::trace
+
+  bool ok() const { return completed && !deadlocked && races.empty(); }
+  std::string to_string() const;
+};
+
+/// Execute @p p on a fresh engine, pinning the first schedule.size() steps to
+/// @p schedule (pass {} for a pure free-run). Throws util::CheckError only on
+/// malformed input (invalid thread ids in the schedule); protocol failures
+/// are returned.
+ReplayResult replay(const Program& p, const std::vector<int>& schedule,
+                    const ReplayOptions& opt = {});
+
+}  // namespace srm::mc

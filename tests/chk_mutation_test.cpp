@@ -1,12 +1,23 @@
-// Mutation self-test: hand-build the paper's Fig. 3 intra-node broadcast
-// flag protocol (leader fills a shared buffer, raises per-consumer READY
-// flags; consumers copy out and lower their flag; the leader waits for all
-// flags to drop before refilling) and verify that srm::chk
-//   (a) stays silent on the correct protocol, and
-//   (b) reports a race when the flag handshake is deliberately broken
-//       (the leader refills without waiting for the consumers' clears).
+// Mutation self-test: hand-build the paper's intra-node flag protocols —
+// the Fig. 3 broadcast (leader fills a shared buffer, raises per-consumer
+// READY flags; consumers copy out and lower their flag; the leader waits
+// for all flags to drop before refilling), the Fig. 2 reduce tree
+// (children deposit partial results into staging slots guarded by
+// published/consumed counters), and the flat barrier (workers signal
+// per-worker flags, the master gathers them and raises a release flag) —
+// and verify that srm::chk
+//   (a) stays silent on each correct protocol, and
+//   (b) flags each deliberately broken handshake: reordered publishes and
+//       skipped gates as data races, dropped signals as engine deadlocks.
 // This proves the checker actually detects the class of bug it exists for —
 // a clean report elsewhere is not a vacuous pass.
+//
+// Every seeded bug here has an abstract twin in srm::mc's mutation gauntlet
+// (src/mc/protocols.cpp): reduce.publish_before_write,
+// reduce.drop_consumed_gate, barrier.drop_worker_signal, barrier.drop_release
+// and the Fig. 3 bcast mutants. tests/mc_protocols_test.cpp asserts the model
+// checker catches those; this file asserts the concrete checker catches the
+// same handshake breaks, so each bug is flagged by both layers.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -121,6 +132,274 @@ TEST(Fig3Mutation, BrokenHandshakeIsReported) {
          "must flag the unordered write/read pair";
   // The report names the shared buffer and both parties.
   EXPECT_NE(report.find("bc_buf"), std::string::npos) << report;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 intra-node reduce: children deposit partial results into per-child
+// staging slots; a `published` counter tells the leader a slot is full, a
+// `consumed` counter tells the child the leader is done combining from it
+// (slot reuse gate). Counter values are round numbers, so they are monotonic.
+// ---------------------------------------------------------------------------
+
+enum class ReduceMutant {
+  none,
+  publish_before_write,  // mc twin: reduce.publish_before_write
+  drop_consumed_gate,    // mc twin: reduce.drop_consumed_gate
+};
+
+constexpr std::size_t kSlot = 128;
+
+struct Fig2 {
+  sim::Engine eng;
+  machine::MemoryParams mp;
+  chk::Checker chk{eng, kConsumers + 1};
+  shm::Segment seg;
+  std::span<std::byte> stage;  // kConsumers slots of kSlot bytes
+  shm::FlagArray* pub;
+  shm::FlagArray* cons;
+  std::vector<chk::TaskChk> tasks;
+
+  Fig2() {
+    chk.set_enabled(true);
+    seg.set_checker(&chk);
+    stage = seg.buffer("rd_stage", kConsumers * kSlot);
+    pub = &seg.object<shm::FlagArray>("pub", eng, mp, kConsumers, 0, "pub");
+    cons = &seg.object<shm::FlagArray>("cons", eng, mp, kConsumers, 0, "cons");
+    for (int a = 0; a <= kConsumers; ++a) tasks.push_back({&chk, a});
+  }
+
+  std::byte* slot(int c) {
+    return stage.data() + static_cast<std::size_t>(c) * kSlot;
+  }
+};
+
+sim::CoTask reduce_child(Fig2& f, int c, ReduceMutant mut) {
+  chk::TaskChk& me = f.tasks[static_cast<std::size_t>(c + 1)];
+  for (int round = 0; round < kRounds; ++round) {
+    if (round > 0 && mut != ReduceMutant::drop_consumed_gate) {
+      // Slot-reuse gate: the leader finished combining the previous round.
+      co_await (*f.cons)[c].await_value(static_cast<std::uint64_t>(round),
+                                        &me);
+    }
+    if (mut == ReduceMutant::publish_before_write) {
+      // The reordered counter bump: the leader may start combining a slot
+      // this child is still writing.
+      (*f.pub)[c].set(static_cast<std::uint64_t>(round + 1), &me);
+      co_await f.eng.sleep(sim::ns(400));
+      chk::note_write(me, f.slot(c), kSlot);
+      std::memset(f.slot(c), round + 1, kSlot);
+    } else {
+      chk::note_write(me, f.slot(c), kSlot);
+      std::memset(f.slot(c), round + 1, kSlot);
+      co_await f.eng.sleep(sim::ns(400));
+      chk::note_write(me, f.slot(c), kSlot);
+      (*f.pub)[c].set(static_cast<std::uint64_t>(round + 1), &me);
+    }
+  }
+}
+
+sim::CoTask reduce_leader(Fig2& f, std::vector<int>& total) {
+  chk::TaskChk& me = f.tasks[0];
+  for (int round = 0; round < kRounds; ++round) {
+    for (int c = 0; c < kConsumers; ++c) {
+      co_await (*f.pub)[c].await_value(static_cast<std::uint64_t>(round + 1),
+                                       &me);
+    }
+    // Model the combine taking real time: read, dwell, read again.
+    for (int c = 0; c < kConsumers; ++c) chk::note_read(me, f.slot(c), kSlot);
+    total[static_cast<std::size_t>(round)] +=
+        static_cast<int>(f.stage[0]);
+    co_await f.eng.sleep(sim::ns(400));
+    for (int c = 0; c < kConsumers; ++c) {
+      chk::note_read(me, f.slot(c), kSlot);
+      (*f.cons)[c].set(static_cast<std::uint64_t>(round + 1), &me);
+    }
+  }
+}
+
+int run_fig2(ReduceMutant mut, std::string* first_report) {
+  Fig2 f;
+  std::vector<int> total(kRounds, 0);
+  f.eng.spawn(reduce_leader(f, total));
+  for (int c = 0; c < kConsumers; ++c) f.eng.spawn(reduce_child(f, c, mut));
+  try {
+    f.eng.run();
+  } catch (const util::CheckError&) {
+    EXPECT_TRUE(mut != ReduceMutant::none)
+        << "correct reduce must not deadlock";
+  }
+  if (chk::kEnabled) {
+    EXPECT_GT(f.chk.accesses_checked(), 0u);
+  }
+  if (first_report != nullptr && !f.chk.reports().empty()) {
+    *first_report = f.chk.reports()[0].to_string();
+  }
+  return static_cast<int>(f.chk.reports().size());
+}
+
+TEST(Fig2Mutation, CorrectProtocolIsClean) {
+  std::string report;
+  int races = run_fig2(ReduceMutant::none, &report);
+  EXPECT_EQ(races, 0) << report;
+}
+
+TEST(Fig2Mutation, PublishBeforeWriteIsReported) {
+  if (!chk::kEnabled) GTEST_SKIP() << "built with SRM_CHK=OFF";
+  std::string report;
+  int races = run_fig2(ReduceMutant::publish_before_write, &report);
+  EXPECT_GT(races, 0)
+      << "child published its slot before writing it — the leader's combine "
+         "read is unordered against the child's write";
+  EXPECT_NE(report.find("rd_stage"), std::string::npos) << report;
+}
+
+TEST(Fig2Mutation, DroppedConsumedGateIsReported) {
+  if (!chk::kEnabled) GTEST_SKIP() << "built with SRM_CHK=OFF";
+  std::string report;
+  int races = run_fig2(ReduceMutant::drop_consumed_gate, &report);
+  EXPECT_GT(races, 0)
+      << "child reused its slot without waiting for the consumed counter — "
+         "the next-round write is unordered against the leader's combine";
+  EXPECT_NE(report.find("rd_stage"), std::string::npos) << report;
+}
+
+// ---------------------------------------------------------------------------
+// Flat barrier guarding a shared buffer: each worker writes its slice, then
+// signals its per-worker flag; the master gathers every signal, combines the
+// whole buffer into its result slice, and raises the release flag; workers
+// read the result slice only after seeing the release. The gather orders the
+// master's reads after the workers' writes, and the release orders the
+// workers' reads (and next-round writes) after the master's combine. Flag
+// values are round numbers (monotonic).
+// ---------------------------------------------------------------------------
+
+enum class BarrierMutant {
+  none,
+  release_early,        // master skips the gather — race on the buffer
+  drop_worker_signal,   // mc twin: barrier.drop_worker_signal (deadlock)
+  drop_release,         // mc twin: barrier.drop_release (deadlock)
+};
+
+constexpr int kWorkers = 3;
+
+struct FlatBarrier {
+  sim::Engine eng;
+  machine::MemoryParams mp;
+  chk::Checker chk{eng, kWorkers + 1};
+  shm::Segment seg;
+  std::span<std::byte> buf;  // kWorkers + 1 slices of kSlot bytes
+  shm::FlagArray* bar;
+  shm::FlagArray* release;
+  std::vector<chk::TaskChk> tasks;
+
+  FlatBarrier() {
+    chk.set_enabled(true);
+    seg.set_checker(&chk);
+    buf = seg.buffer("bar_buf", (kWorkers + 1) * kSlot);
+    bar = &seg.object<shm::FlagArray>("bar", eng, mp, kWorkers, 0, "bar");
+    release = &seg.object<shm::FlagArray>("rel", eng, mp, 1, 0, "rel");
+    for (int a = 0; a <= kWorkers; ++a) tasks.push_back({&chk, a});
+  }
+
+  std::byte* slice(int a) {
+    return buf.data() + static_cast<std::size_t>(a) * kSlot;
+  }
+};
+
+sim::CoTask barrier_worker(FlatBarrier& f, int w, BarrierMutant mut) {
+  chk::TaskChk& me = f.tasks[static_cast<std::size_t>(w)];
+  for (int round = 0; round < kRounds; ++round) {
+    // Model the slice fill taking real time: write, dwell, write again.
+    chk::note_write(me, f.slice(w), kSlot);
+    std::memset(f.slice(w), round + 1, kSlot);
+    co_await f.eng.sleep(sim::ns(400));
+    chk::note_write(me, f.slice(w), kSlot);
+    bool drop = mut == BarrierMutant::drop_worker_signal && w == kWorkers;
+    if (!drop) {
+      (*f.bar)[w - 1].set(static_cast<std::uint64_t>(round + 1), &me);
+    }
+    co_await (*f.release)[0].await_value(static_cast<std::uint64_t>(round + 1),
+                                         &me);
+    chk::note_read(me, f.slice(0), kSlot);  // the master's combined result
+  }
+}
+
+sim::CoTask barrier_master(FlatBarrier& f, BarrierMutant mut) {
+  chk::TaskChk& me = f.tasks[0];
+  for (int round = 0; round < kRounds; ++round) {
+    if (mut != BarrierMutant::release_early) {
+      for (int w = 0; w < kWorkers; ++w) {
+        co_await (*f.bar)[w].await_value(static_cast<std::uint64_t>(round + 1),
+                                         &me);
+      }
+    }
+    // Model the combine taking real time: read all slices, dwell, read again,
+    // then deposit the result in the master's slice.
+    chk::note_read(me, f.buf.data(), f.buf.size());
+    co_await f.eng.sleep(sim::ns(400));
+    chk::note_read(me, f.buf.data(), f.buf.size());
+    chk::note_write(me, f.slice(0), kSlot);
+    std::memset(f.slice(0), round + 1, kSlot);
+    if (mut != BarrierMutant::drop_release) {
+      (*f.release)[0].set(static_cast<std::uint64_t>(round + 1), &me);
+    }
+  }
+}
+
+struct BarrierOutcome {
+  int races = 0;
+  bool deadlocked = false;
+  std::string detail;  // first race report or the engine's deadlock dump
+};
+
+BarrierOutcome run_barrier(BarrierMutant mut) {
+  FlatBarrier f;
+  f.eng.spawn(barrier_master(f, mut));
+  for (int w = 1; w <= kWorkers; ++w) f.eng.spawn(barrier_worker(f, w, mut));
+  BarrierOutcome out;
+  try {
+    f.eng.run();
+  } catch (const util::CheckError&) {
+    out.deadlocked = true;
+    out.detail = f.eng.describe_deadlock();
+  }
+  if (chk::kEnabled) {
+    EXPECT_GT(f.chk.accesses_checked(), 0u);
+  }
+  out.races = static_cast<int>(f.chk.reports().size());
+  if (out.races > 0 && out.detail.empty()) {
+    out.detail = f.chk.reports()[0].to_string();
+  }
+  return out;
+}
+
+TEST(FlatBarrierMutation, CorrectProtocolIsClean) {
+  BarrierOutcome out = run_barrier(BarrierMutant::none);
+  EXPECT_FALSE(out.deadlocked) << out.detail;
+  EXPECT_EQ(out.races, 0) << out.detail;
+}
+
+TEST(FlatBarrierMutation, EarlyReleaseIsReported) {
+  if (!chk::kEnabled) GTEST_SKIP() << "built with SRM_CHK=OFF";
+  BarrierOutcome out = run_barrier(BarrierMutant::release_early);
+  EXPECT_GT(out.races, 0)
+      << "master released without gathering — its whole-buffer read is "
+         "unordered against the workers' slice writes";
+  EXPECT_NE(out.detail.find("bar_buf"), std::string::npos) << out.detail;
+}
+
+TEST(FlatBarrierMutation, DroppedWorkerSignalDeadlocks) {
+  BarrierOutcome out = run_barrier(BarrierMutant::drop_worker_signal);
+  EXPECT_TRUE(out.deadlocked)
+      << "a worker that never signals must wedge the master's gather";
+  EXPECT_NE(out.detail.find("bar"), std::string::npos) << out.detail;
+}
+
+TEST(FlatBarrierMutation, DroppedReleaseDeadlocks) {
+  BarrierOutcome out = run_barrier(BarrierMutant::drop_release);
+  EXPECT_TRUE(out.deadlocked)
+      << "a master that never releases must wedge every worker";
+  EXPECT_NE(out.detail.find("rel"), std::string::npos) << out.detail;
 }
 
 }  // namespace

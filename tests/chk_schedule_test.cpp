@@ -5,6 +5,8 @@
 // silent — and non-vacuously so (accesses_checked > 0 on the SRM runs).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "chk/chk.hpp"
 #include "chk/explore.hpp"
 
@@ -95,6 +97,67 @@ TEST(ScheduleExplorer, FifoNoJitterMatchesSeedBehaviour) {
   ExploreResult r = chk::explore(opt);
   EXPECT_TRUE(r.clean()) << summarize(opt, r);
   EXPECT_EQ(r.accesses, 0u);  // checker off: no access records
+}
+
+TEST(ScheduleExplorer, CleanSweepReportsNoFailingSeed) {
+  ExploreOptions opt;
+  opt.backend = ExploreBackend::srm;
+  opt.nodes = 2;
+  opt.tasks_per_node = 2;
+  opt.schedules = 4;
+  opt.seed_base = 701;
+  ExploreResult r = chk::explore(opt);
+  ASSERT_TRUE(r.clean()) << summarize(opt, r);
+  EXPECT_EQ(r.first_failing_seed, ExploreResult::kNoSeed);
+  EXPECT_TRUE(r.failing_trace.empty());
+  EXPECT_EQ(summarize(opt, r).find("SRM_EXPLORE_SEED"), std::string::npos);
+}
+
+TEST(ScheduleExplorer, EnvSeedPinsTheSweepToOneRun) {
+  // SRM_EXPLORE_SEED collapses a multi-seed sweep to exactly the named seed —
+  // the deterministic replay knob for a failure a previous sweep printed.
+  ASSERT_EQ(setenv("SRM_EXPLORE_SEED", "12345", 1), 0);
+  ExploreOptions opt;
+  opt.backend = ExploreBackend::srm;
+  opt.nodes = 2;
+  opt.tasks_per_node = 2;
+  opt.schedules = 8;
+  opt.seed_base = 801;
+  ExploreResult r = chk::explore(opt);
+  unsetenv("SRM_EXPLORE_SEED");
+  EXPECT_EQ(r.runs, 1);
+  EXPECT_TRUE(r.clean()) << summarize(opt, r);
+}
+
+TEST(ScheduleExplorer, MalformedEnvSeedIsIgnored) {
+  ASSERT_EQ(setenv("SRM_EXPLORE_SEED", "not-a-seed", 1), 0);
+  ExploreOptions opt;
+  opt.backend = ExploreBackend::srm;
+  opt.nodes = 1;
+  opt.tasks_per_node = 2;
+  opt.schedules = 3;
+  opt.seed_base = 901;
+  ExploreResult r = chk::explore(opt);
+  unsetenv("SRM_EXPLORE_SEED");
+  EXPECT_EQ(r.runs, 3);  // sweep unaffected
+  EXPECT_TRUE(r.clean()) << summarize(opt, r);
+}
+
+TEST(ScheduleExplorer, SummaryPrintsReproducerLineOnFailure) {
+  // summarize() must tell the user exactly how to replay a failure: the seed
+  // and the env var that pins it, plus the captured tie-break trace.
+  ExploreOptions opt;
+  opt.schedules = 16;
+  ExploreResult r;
+  r.runs = 16;
+  r.payload_errors.push_back("seed 1007 op bcast rank 3: element 5 mismatch");
+  r.first_failing_seed = 1007;
+  r.failing_trace = {"a0 release 'ready0.s0[0]'", "a3 acquire 'ready0.s0[0]'"};
+  std::string s = summarize(opt, r);
+  EXPECT_NE(s.find("1007"), std::string::npos) << s;
+  EXPECT_NE(s.find("SRM_EXPLORE_SEED=1007"), std::string::npos) << s;
+  EXPECT_NE(s.find("tie-break trace"), std::string::npos) << s;
+  EXPECT_NE(s.find("a3 acquire 'ready0.s0[0]'"), std::string::npos) << s;
 }
 
 }  // namespace

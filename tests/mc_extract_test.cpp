@@ -1,0 +1,111 @@
+// The concrete -> abstract direction: a traced chk::Checker run lifted to a
+// protocol IR Program (mc/extract.hpp), then model-checked. Clean runs must
+// lift to race-free skeletons; a mutant's traced run must lift to a skeleton
+// in which the model checker rediscovers the race.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chk/chk.hpp"
+#include "mc/extract.hpp"
+#include "mc/mc.hpp"
+#include "mc/protocols.hpp"
+#include "mc/replay.hpp"
+
+namespace srm::mc {
+namespace {
+
+ReplayResult traced_replay(const Program& p, const std::vector<int>& sched) {
+  ReplayOptions o;
+  o.trace = true;
+  return replay(p, sched, o);
+}
+
+TEST(McExtract, EmptyTraceLiftsToEmptyProgram) {
+  Program p = skeleton_from_trace({}, 2, "empty");
+  EXPECT_EQ(p.total_ops(), 0u);
+  EXPECT_EQ(p.threads.size(), 2u);
+  Result r = check(p, extracted_options());
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(McExtract, TraceCapturesTheRun) {
+  if (!chk::kEnabled) GTEST_SKIP() << "built with SRM_CHK=OFF";
+  Program p = build(Proto::bcast, Shape{2, 2, 1});
+  ReplayResult r = traced_replay(p, {});
+  ASSERT_TRUE(r.ok()) << r.to_string();
+  ASSERT_FALSE(r.trace.empty());
+  bool saw_release = false, saw_access = false, saw_msg = false;
+  for (const chk::TraceEvent& ev : r.trace) {
+    saw_release |= ev.kind == chk::TraceEvent::Kind::release;
+    saw_access |= ev.kind == chk::TraceEvent::Kind::read ||
+                  ev.kind == chk::TraceEvent::Kind::write;
+    saw_msg |= ev.kind == chk::TraceEvent::Kind::fork;
+  }
+  EXPECT_TRUE(saw_release);
+  EXPECT_TRUE(saw_access);
+  EXPECT_TRUE(saw_msg);
+}
+
+TEST(McExtract, CleanRunsLiftToRaceFreeSkeletons) {
+  if (!chk::kEnabled) GTEST_SKIP() << "built with SRM_CHK=OFF";
+  for (Proto op : all_protos()) {
+    for (const Shape& sh : {Shape{1, 2, 1}, Shape{2, 1, 1}, Shape{2, 2, 1}}) {
+      Program p = build(op, sh);
+      ReplayResult run = traced_replay(p, {});
+      ASSERT_TRUE(run.ok()) << p.name << ": " << run.to_string();
+      Program lifted = skeleton_from_trace(
+          run.trace, static_cast<int>(p.threads.size()), p.name + ".lifted");
+      Result r = check(lifted, extracted_options());
+      EXPECT_TRUE(r.races.empty())
+          << p.name << ": " << r.summary() << "\n"
+          << (r.races.empty() ? "" : r.races[0].to_string());
+      EXPECT_FALSE(r.budget_exhausted) << p.name << ": " << r.summary();
+      EXPECT_GT(lifted.total_ops(), 0u) << p.name;
+    }
+  }
+}
+
+TEST(McExtract, MutantTracesLiftToRacySkeletons) {
+  if (!chk::kEnabled) GTEST_SKIP() << "built with SRM_CHK=OFF";
+  // Pick gauntlet race mutants whose concrete replay reproduces the race;
+  // the lifted skeleton must contain it too — the trace recorded the broken
+  // synchronization structure, not just one lucky interleaving.
+  for (const Mutant& m : mutation_gauntlet()) {
+    if (!m.expect_race) continue;
+    Result v = check(m.program);
+    ASSERT_FALSE(v.races.empty()) << m.name;
+    ReplayResult run = traced_replay(m.program, v.races.front().schedule);
+    ASSERT_FALSE(run.races.empty()) << m.name << ": " << run.to_string();
+    Program lifted = skeleton_from_trace(
+        run.trace, static_cast<int>(m.program.threads.size()),
+        m.name + ".lifted");
+    Result r = check(lifted, extracted_options());
+    EXPECT_FALSE(r.races.empty()) << m.name << ": " << r.summary();
+    if (!r.races.empty()) {
+      EXPECT_EQ(r.races.front().buf, run.races.front().region) << m.name;
+    }
+  }
+}
+
+TEST(McExtract, LiftedNamesComeFromTheRealObjects) {
+  if (!chk::kEnabled) GTEST_SKIP() << "built with SRM_CHK=OFF";
+  Program p = build(Proto::bcast, Shape{1, 2, 1});
+  ReplayResult run = traced_replay(p, {});
+  ASSERT_TRUE(run.ok()) << run.to_string();
+  Program lifted = skeleton_from_trace(
+      run.trace, static_cast<int>(p.threads.size()), "named");
+  bool flag_named = false, buf_named = false;
+  for (const std::string& n : lifted.var_names) {
+    flag_named |= n.find("ready0") != std::string::npos;
+  }
+  for (const std::string& n : lifted.buf_names) {
+    buf_named |= n.find("bb0") != std::string::npos;
+  }
+  EXPECT_TRUE(flag_named) << lifted.to_string();
+  EXPECT_TRUE(buf_named) << lifted.to_string();
+}
+
+}  // namespace
+}  // namespace srm::mc
