@@ -31,8 +31,8 @@ Moves run_srm(int p, std::size_t count) {
   std::vector<double> out(count, 0.0);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count, 1.0 * t.rank);
-    co_await comm.reduce(t, mine.data(), out.data(), count, coll::Dtype::f64,
-                         coll::RedOp::sum, 0);
+    co_await comm.reduce(t, coll::of(mine.data(), count),
+                         coll::of(out.data(), count), coll::RedOp::sum, 0);
   });
   obs::Counter copy = cluster.obs().total("mem.copy");
   obs::Counter comb = cluster.obs().total("mem.combine");

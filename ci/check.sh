@@ -6,6 +6,9 @@
 #
 # Stages:
 #   1. default     — release-ish build with SRM_CHK=ON + SRM_MC=ON, full ctest
+#   1b. perf       — micro_engine + fig06_bcast vs the checked-in BENCH_*.json
+#                    baselines at the repo root (ci/perf_gate.py, >15% fails);
+#                    also runnable alone via `ci/check.sh perf`
 #   2. sanitize    — ASan+UBSan build, full ctest
 #   3. chk-off     — SRM_CHK=OFF build (checker compiled out), full ctest
 #   4. tidy        — clang-tidy over src/ with warnings-as-errors (enforced
@@ -38,7 +41,31 @@ run_stage() {
   (cd "$dir" && ctest -j "$JOBS" --output-on-failure)
 }
 
+run_perf_gate() {
+  local dir="build-ci/default"
+  echo "=== [perf] bench regression gate vs checked-in baselines ==="
+  cmake -B "$dir" -S . -DSRM_CHK=ON -DSRM_MC=ON >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target micro_engine fig06_bcast >/dev/null
+  # micro_engine: wall-clock — gate on medians over repetitions.
+  "$dir/bench/micro_engine" --benchmark_format=json \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    --benchmark_min_time=0.05 > "$dir/bench/micro_engine.json" 2>/dev/null
+  python3 ci/perf_gate.py BENCH_micro_engine.json \
+    "$dir/bench/micro_engine.json" --tol "${SRM_PERF_TOL:-0.15}"
+  # fig06_bcast: deterministic virtual metrics from the instrumented run.
+  (cd "$dir/bench" && ./fig06_bcast >/dev/null)
+  python3 ci/perf_gate.py BENCH_fig06_bcast.json \
+    "$dir/bench/BENCH_fig06_bcast.json" --tol "${SRM_PERF_TOL:-0.15}"
+}
+
+if [[ "$MODE" == "perf" ]]; then
+  run_perf_gate
+  echo "=== perf gate passed ==="
+  exit 0
+fi
+
 run_stage default -DSRM_CHK=ON -DSRM_MC=ON
+run_perf_gate
 
 if [[ "$MODE" != "fast" ]]; then
   run_stage sanitize -DSRM_CHK=ON -DSRM_SANITIZE=address,undefined

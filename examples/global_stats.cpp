@@ -41,11 +41,11 @@ int main() {
       sum += s;
     }
     double glo = 0, ghi = 0, gsum = 0;
-    co_await comm.reduce(t, &lo, &glo, 1, srm::coll::Dtype::f64,
+    co_await comm.reduce(t, srm::coll::of(&lo, 1), srm::coll::of(&glo, 1),
                          srm::coll::RedOp::min, 0);
-    co_await comm.reduce(t, &hi, &ghi, 1, srm::coll::Dtype::f64,
+    co_await comm.reduce(t, srm::coll::of(&hi, 1), srm::coll::of(&ghi, 1),
                          srm::coll::RedOp::max, 0);
-    co_await comm.reduce(t, &sum, &gsum, 1, srm::coll::Dtype::f64,
+    co_await comm.reduce(t, srm::coll::of(&sum, 1), srm::coll::of(&gsum, 1),
                          srm::coll::RedOp::sum, 0);
 
     // Rank 0 derives the bucket edges and broadcasts them.
@@ -56,8 +56,7 @@ int main() {
             glo + (ghi - glo) * b / kBuckets;
       }
     }
-    co_await comm.bcast(t, edges.data(), edges.size() * sizeof(double),
-                            0);
+    co_await comm.bcast(t, srm::coll::of(edges.data(), edges.size()), 0);
 
     // Local histogram, then a vector reduce of int64 counts.
     std::vector<std::int64_t> local(kBuckets, 0);
@@ -67,8 +66,9 @@ int main() {
       b = std::clamp(b, 0, kBuckets - 1);
       local[static_cast<std::size_t>(b)]++;
     }
-    co_await comm.reduce(t, local.data(), histogram.data(), kBuckets,
-                         srm::coll::Dtype::i64, srm::coll::RedOp::sum, 0);
+    co_await comm.reduce(t, srm::coll::of(local.data(), kBuckets),
+                         srm::coll::of(histogram.data(), kBuckets),
+                         srm::coll::RedOp::sum, 0);
 
     co_await comm.barrier(t);
     if (t.rank == 0) {

@@ -48,8 +48,8 @@ int main() {
       }
 
       // Distribute row blocks.
-      co_await comm.scatter(t, frame.data(), mine.data(),
-                            block * sizeof(float), 0);
+      co_await comm.scatter(t, srm::coll::of(frame.data(), block),
+                            srm::coll::of(mine.data(), block), 0);
 
       // Local 1-D blur + local max.
       float local_max = 0.0f;
@@ -62,13 +62,14 @@ int main() {
 
       // Global per-frame statistic for normalization.
       float frame_max = 0.0f;
-      co_await comm.allreduce(t, &local_max, &frame_max, 1,
-                              srm::coll::Dtype::f32, srm::coll::RedOp::max);
+      co_await comm.allreduce(t, srm::coll::of(&local_max, 1),
+                              srm::coll::of(&frame_max, 1),
+                              srm::coll::RedOp::max);
       for (auto& px : filtered) px /= frame_max;
 
       // Collect the processed frame.
-      co_await comm.gather(t, filtered.data(), frame.data(),
-                           block * sizeof(float), 0);
+      co_await comm.gather(t, srm::coll::of(filtered.data(), block),
+                           srm::coll::of(frame.data(), block), 0);
 
       if (t.rank == 0) {
         double sum = 0.0;

@@ -68,8 +68,8 @@ int main() {
       // Global residual via SRM allreduce every 10 sweeps.
       if (it % 10 == 9) {
         double res_global = 0.0;
-        co_await comm.allreduce(t, &res_local, &res_global, 1,
-                                srm::coll::Dtype::f64,
+        co_await comm.allreduce(t, srm::coll::of(&res_local, 1),
+                                srm::coll::of(&res_global, 1),
                                 srm::coll::RedOp::sum);
         if (std::sqrt(res_global) < 1e-2) break;
       }

@@ -59,8 +59,9 @@ int main() {
         y_local[static_cast<std::size_t>(i)] = acc;
       }
       // Assemble the full vector everywhere (rows are disjoint, so sum).
-      co_await comm.allreduce(t, y_local.data(), y.data(), kN,
-                              srm::coll::Dtype::f64, srm::coll::RedOp::sum);
+      co_await comm.allreduce(t, srm::coll::of(y_local.data(), kN),
+                              srm::coll::of(y.data(), kN),
+                              srm::coll::RedOp::sum);
 
       // Rayleigh quotient pieces and normalization, computed redundantly
       // (every rank holds the full vectors after the allreduce).
@@ -79,8 +80,9 @@ int main() {
       // Converged? Everyone must agree — max of the local deltas.
       double delta = std::abs(new_lambda - lambda);
       double max_delta = 0.0;
-      co_await comm.allreduce(t, &delta, &max_delta, 1,
-                              srm::coll::Dtype::f64, srm::coll::RedOp::max);
+      co_await comm.allreduce(t, srm::coll::of(&delta, 1),
+                              srm::coll::of(&max_delta, 1),
+                              srm::coll::RedOp::max);
       lambda = new_lambda;
       if (max_delta < 1e-10) break;
     }

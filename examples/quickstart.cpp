@@ -36,13 +36,14 @@ int main() {
       std::snprintf(greeting.data(), greeting.size(),
                     "hello from rank 3 (node %d)", t.node());
     }
-    co_await comm.bcast(t, greeting.data(), greeting.size(), 3);
+    co_await comm.bcast(
+        t, srm::coll::Buf::bytes(greeting.data(), greeting.size()), 3);
 
     // Everyone contributes rank^2; everyone receives the global sum.
     double mine = static_cast<double>(t.rank) * t.rank;
     double sum = 0.0;
-    co_await comm.allreduce(t, &mine, &sum, 1, srm::coll::Dtype::f64,
-                            srm::coll::RedOp::sum);
+    co_await comm.allreduce(t, srm::coll::of(&mine, 1),
+                            srm::coll::of(&sum, 1), srm::coll::RedOp::sum);
     sums[static_cast<std::size_t>(t.rank)] = sum;
 
     if (t.rank == 0) {

@@ -2,13 +2,24 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <numeric>
 #include <sstream>
 
+#include "coll/payload.hpp"
 #include "util/format.hpp"
 
 namespace srm::bench {
+
+namespace {
+
+bool env_symbolic() {
+  const char* v = std::getenv("SRM_SYMBOLIC");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
 
 const char* impl_name(Impl i) {
   switch (i) {
@@ -21,7 +32,7 @@ const char* impl_name(Impl i) {
 
 Bench::Bench(Impl impl, int nodes, int tasks_per_node, SrmConfig srm_cfg,
              machine::MachineParams params)
-    : impl_(impl) {
+    : impl_(impl), symbolic_(env_symbolic()) {
   machine::ClusterConfig cc;
   cc.nodes = nodes;
   cc.tasks_per_node = tasks_per_node;
@@ -100,31 +111,65 @@ double Bench::time_collective(
 }
 
 double Bench::time_bcast(std::size_t bytes, int iters) {
+  bool symbolic = symbolic_;
   return time_collective(
-      [bytes](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
-        std::vector<char> buf(std::max<std::size_t>(bytes, 1),
-                              static_cast<char>(t.rank));
-        co_await c.bcast(t, buf.data(), bytes, 0);
+      [bytes, symbolic](machine::TaskCtx& t,
+                        coll::Collectives& c) -> sim::CoTask {
+        if (symbolic) {
+          coll::Payload pay(1, bytes);
+          if (t.rank == 0) pay.fill_pattern(coll::Dtype::kByte, 7);
+          co_await c.bcast(
+              t, coll::Buf::symbolic(pay, coll::Dtype::kByte, bytes), 0);
+        } else {
+          std::vector<char> buf(std::max<std::size_t>(bytes, 1),
+                                static_cast<char>(t.rank));
+          co_await c.bcast(t, coll::Buf::bytes(buf.data(), bytes), 0);
+        }
       },
       iters);
 }
 
 double Bench::time_reduce(std::size_t count, int iters) {
+  bool symbolic = symbolic_;
   return time_collective(
-      [count](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
-        std::vector<double> in(count, 1.0 * t.rank), out(count, 0.0);
-        co_await c.reduce(t, in.data(), out.data(), count, coll::Dtype::f64,
-                          coll::RedOp::sum, 0);
+      [count, symbolic](machine::TaskCtx& t,
+                        coll::Collectives& c) -> sim::CoTask {
+        if (symbolic) {
+          coll::Payload in(1, count * sizeof(double)), out(in);
+          in.fill_pattern(coll::Dtype::f64,
+                          static_cast<std::uint64_t>(t.rank));
+          co_await c.reduce(t,
+                            coll::Buf::symbolic(in, coll::Dtype::f64, count),
+                            coll::Buf::symbolic(out, coll::Dtype::f64, count),
+                            coll::RedOp::sum, 0);
+        } else {
+          std::vector<double> in(count, 1.0 * t.rank), out(count, 0.0);
+          co_await c.reduce(t, coll::of(in.data(), count),
+                            coll::of(out.data(), count), coll::RedOp::sum, 0);
+        }
       },
       iters);
 }
 
 double Bench::time_allreduce(std::size_t count, int iters) {
+  bool symbolic = symbolic_;
   return time_collective(
-      [count](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
-        std::vector<double> in(count, 1.0 * t.rank), out(count, 0.0);
-        co_await c.allreduce(t, in.data(), out.data(), count,
-                             coll::Dtype::f64, coll::RedOp::sum);
+      [count, symbolic](machine::TaskCtx& t,
+                        coll::Collectives& c) -> sim::CoTask {
+        if (symbolic) {
+          coll::Payload in(1, count * sizeof(double)), out(in);
+          in.fill_pattern(coll::Dtype::f64,
+                          static_cast<std::uint64_t>(t.rank));
+          co_await c.allreduce(
+              t, coll::Buf::symbolic(in, coll::Dtype::f64, count),
+              coll::Buf::symbolic(out, coll::Dtype::f64, count),
+              coll::RedOp::sum);
+        } else {
+          std::vector<double> in(count, 1.0 * t.rank), out(count, 0.0);
+          co_await c.allreduce(t, coll::of(in.data(), count),
+                               coll::of(out.data(), count),
+                               coll::RedOp::sum);
+        }
       },
       iters);
 }
@@ -138,50 +183,101 @@ double Bench::time_barrier(int iters) {
 }
 
 double Bench::time_scatter(std::size_t bytes_per, int iters) {
+  bool symbolic = symbolic_;
   return time_collective(
-      [bytes_per](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
-        std::vector<char> send;
-        if (t.rank == 0) {
-          send.assign(bytes_per * static_cast<std::size_t>(t.nranks()), 'x');
+      [bytes_per, symbolic](machine::TaskCtx& t,
+                            coll::Collectives& c) -> sim::CoTask {
+        auto nranks = static_cast<std::size_t>(t.nranks());
+        if (symbolic) {
+          coll::Payload send(t.rank == 0 ? nranks : 0, bytes_per);
+          coll::Payload recv(1, bytes_per);
+          if (t.rank == 0) send.fill_pattern(coll::Dtype::kByte, 11);
+          co_await c.scatter(
+              t, coll::Buf::symbolic(send, coll::Dtype::kByte, bytes_per),
+              coll::Buf::symbolic(recv, coll::Dtype::kByte, bytes_per), 0);
+        } else {
+          std::vector<char> send;
+          if (t.rank == 0) send.assign(bytes_per * nranks, 'x');
+          std::vector<char> recv(bytes_per, 0);
+          co_await c.scatter(t, coll::Buf::bytes(send.data(), bytes_per),
+                             coll::Buf::bytes(recv.data(), bytes_per), 0);
         }
-        std::vector<char> recv(bytes_per, 0);
-        co_await c.scatter(t, send.data(), recv.data(), bytes_per, 0);
       },
       iters);
 }
 
 double Bench::time_gather(std::size_t bytes_per, int iters) {
+  bool symbolic = symbolic_;
   return time_collective(
-      [bytes_per](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
-        std::vector<char> send(bytes_per, static_cast<char>(t.rank));
-        std::vector<char> recv;
-        if (t.rank == 0) {
-          recv.resize(bytes_per * static_cast<std::size_t>(t.nranks()));
+      [bytes_per, symbolic](machine::TaskCtx& t,
+                            coll::Collectives& c) -> sim::CoTask {
+        auto nranks = static_cast<std::size_t>(t.nranks());
+        if (symbolic) {
+          coll::Payload send(1, bytes_per);
+          coll::Payload recv(t.rank == 0 ? nranks : 0, bytes_per);
+          send.fill_pattern(coll::Dtype::kByte,
+                            static_cast<std::uint64_t>(t.rank));
+          co_await c.gather(
+              t, coll::Buf::symbolic(send, coll::Dtype::kByte, bytes_per),
+              coll::Buf::symbolic(recv, coll::Dtype::kByte, bytes_per), 0);
+        } else {
+          std::vector<char> send(bytes_per, static_cast<char>(t.rank));
+          std::vector<char> recv;
+          if (t.rank == 0) recv.resize(bytes_per * nranks);
+          co_await c.gather(t, coll::Buf::bytes(send.data(), bytes_per),
+                            coll::Buf::bytes(recv.data(), bytes_per), 0);
         }
-        co_await c.gather(t, send.data(), recv.data(), bytes_per, 0);
       },
       iters);
 }
 
 double Bench::time_allgather(std::size_t bytes_per, int iters) {
+  bool symbolic = symbolic_;
   return time_collective(
-      [bytes_per](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
-        std::vector<char> send(bytes_per, static_cast<char>(t.rank));
-        std::vector<char> recv(
-            bytes_per * static_cast<std::size_t>(t.nranks()), 0);
-        co_await c.allgather(t, send.data(), recv.data(), bytes_per);
+      [bytes_per, symbolic](machine::TaskCtx& t,
+                            coll::Collectives& c) -> sim::CoTask {
+        auto nranks = static_cast<std::size_t>(t.nranks());
+        if (symbolic) {
+          coll::Payload send(1, bytes_per);
+          coll::Payload recv(nranks, bytes_per);
+          send.fill_pattern(coll::Dtype::kByte,
+                            static_cast<std::uint64_t>(t.rank));
+          co_await c.allgather(
+              t, coll::Buf::symbolic(send, coll::Dtype::kByte, bytes_per),
+              coll::Buf::symbolic(recv, coll::Dtype::kByte, bytes_per));
+        } else {
+          std::vector<char> send(bytes_per, static_cast<char>(t.rank));
+          std::vector<char> recv(bytes_per * nranks, 0);
+          co_await c.allgather(t, coll::Buf::bytes(send.data(), bytes_per),
+                               coll::Buf::bytes(recv.data(), bytes_per));
+        }
       },
       iters);
 }
 
 double Bench::time_reduce_scatter(std::size_t bytes_per, int iters) {
   std::size_t count = std::max<std::size_t>(bytes_per / sizeof(double), 1);
+  bool symbolic = symbolic_;
   return time_collective(
-      [count](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
-        std::size_t total = count * static_cast<std::size_t>(t.nranks());
-        std::vector<double> in(total, 1.0 * t.rank), out(count, 0.0);
-        co_await c.reduce_scatter(t, in.data(), out.data(), count,
-                                  coll::Dtype::f64, coll::RedOp::sum);
+      [count, symbolic](machine::TaskCtx& t,
+                        coll::Collectives& c) -> sim::CoTask {
+        auto nranks = static_cast<std::size_t>(t.nranks());
+        if (symbolic) {
+          coll::Payload in(nranks, count * sizeof(double));
+          coll::Payload out(1, count * sizeof(double));
+          in.fill_pattern(coll::Dtype::f64,
+                          static_cast<std::uint64_t>(t.rank));
+          co_await c.reduce_scatter(
+              t, coll::Buf::symbolic(in, coll::Dtype::f64, count),
+              coll::Buf::symbolic(out, coll::Dtype::f64, count),
+              coll::RedOp::sum);
+        } else {
+          std::vector<double> in(count * nranks, 1.0 * t.rank),
+              out(count, 0.0);
+          co_await c.reduce_scatter(t, coll::of(in.data(), count),
+                                    coll::of(out.data(), count),
+                                    coll::RedOp::sum);
+        }
       },
       iters);
 }

@@ -26,6 +26,12 @@ const char* impl_name(Impl i);
 
 /// One self-contained experiment environment: a fresh simulated cluster
 /// (16-way nodes by default, like the paper's SP) plus one implementation.
+///
+/// Payload plane: the canned time_* operations drive real buffers by
+/// default; set SRM_SYMBOLIC=1 in the environment (or call
+/// set_symbolic(true)) and they drive coll::Payload digests instead — same
+/// protocols, same cost model, O(active blocks) memory — which is what makes
+/// mega-scale topologies (4096 nodes x 64 tasks) benchable.
 class Bench {
  public:
   Bench(Impl impl, int nodes, int tasks_per_node,
@@ -36,6 +42,11 @@ class Bench {
   obs::Registry& obs() { return cluster_->obs(); }
   coll::Collectives& coll() { return *coll_; }
   Impl impl() const { return impl_; }
+
+  /// Symbolic-payload mode for the canned operations (default: the
+  /// SRM_SYMBOLIC environment switch; "0"/"" = off, anything else = on).
+  bool symbolic() const { return symbolic_; }
+  void set_symbolic(bool on) { symbolic_ = on; }
 
   /// Average virtual-time latency (us) of `op` over `iters` back-to-back
   /// calls, after `warmup` unmeasured calls. The reported value is the
@@ -70,6 +81,7 @@ class Bench {
 
  private:
   Impl impl_;
+  bool symbolic_ = false;
   std::unique_ptr<machine::Cluster> cluster_;
   std::unique_ptr<lapi::Fabric> fabric_;
   std::unique_ptr<Communicator> srm_;

@@ -44,14 +44,21 @@ std::string RaceReport::to_string() const {
 }
 
 Checker::Checker(sim::Engine& eng, int nactors) : eng_(&eng) {
+  // Vector clocks materialize lazily (vc_of): an eager nactors x nactors
+  // matrix is O(ranks^2) — hopeless at mega scale (256K ranks). An absent
+  // component reads as 0 everywhere.
   actors_.resize(static_cast<std::size_t>(nactors));
-  for (std::size_t a = 0; a < actors_.size(); ++a) {
-    actors_[a].vc.assign(actors_.size(), 0);
-    // Start each actor's own component at 1 so an initial access is not
-    // spuriously ordered before every other actor (whose clocks are 0).
-    actors_[a].vc[a] = 1;
-  }
   eng_->add_blocked_source(this);
+}
+
+std::vector<Clock>& Checker::vc_of(int actor) {
+  auto& a = actors_[static_cast<std::size_t>(actor)];
+  auto self = static_cast<std::size_t>(actor);
+  if (a.vc.size() <= self) a.vc.resize(self + 1, 0);
+  // Start the actor's own component at 1 so an initial access is not
+  // spuriously ordered before every other actor (whose clocks read 0).
+  if (a.vc[self] == 0) a.vc[self] = 1;
+  return a.vc;
 }
 
 Checker::~Checker() { eng_->remove_blocked_source(this); }
@@ -69,7 +76,7 @@ void Checker::register_region(const void* base, std::size_t bytes,
 
 void Checker::release(int actor, SyncVar& v, const char* what) {
   auto& a = actors_[static_cast<std::size_t>(actor)];
-  join_into(v.vc, a.vc);
+  join_into(v.vc, vc_of(actor));
   ++a.vc[static_cast<std::size_t>(actor)];
   ++sync_ops_;
   if (trace_on_) {
@@ -95,7 +102,7 @@ void Checker::acquire(int actor, SyncVar& v, const char* what) {
 MsgClock Checker::fork(int actor) {
   auto& a = actors_[static_cast<std::size_t>(actor)];
   MsgClock m;
-  m.vc = a.vc;
+  m.vc = vc_of(actor);
   m.origin = actor;
   m.id = next_msg_id_++;
   m.stages = stage_names(actor);
@@ -150,8 +157,10 @@ void Checker::check_access(Region& rg, const std::vector<Clock>& vc,
   std::size_t kept = 0;
   for (Record& r : rg.recs) {
     // Same actor => program order (or NIC FIFO for same-origin puts).
-    bool ordered = r.actor == actor ||
-                   vc[static_cast<std::size_t>(r.actor)] >= r.epoch;
+    // Lazy clocks: a component beyond the stored length reads as 0.
+    auto ri = static_cast<std::size_t>(r.actor);
+    Clock seen = ri < vc.size() ? vc[ri] : 0;
+    bool ordered = r.actor == actor || seen >= r.epoch;
     if (!ordered && r.lo < hi && lo < r.hi &&
         (k == Access::write || r.kind == Access::write)) {
       if (reports_.size() < kMaxReports) {
@@ -186,10 +195,9 @@ void Checker::access(int actor, const void* p, std::size_t len, Access k) {
   std::size_t off = 0;
   Region* rg = find_region(p, len, off);
   if (rg == nullptr) return;
-  auto& a = actors_[static_cast<std::size_t>(actor)];
-  Clock epoch = a.vc[static_cast<std::size_t>(actor)];
-  check_access(*rg, a.vc, actor, epoch, off, off + len, k,
-               stage_names(actor));
+  const auto& vc = vc_of(actor);
+  Clock epoch = vc[static_cast<std::size_t>(actor)];
+  check_access(*rg, vc, actor, epoch, off, off + len, k, stage_names(actor));
   if (trace_on_) {
     trace_.push_back(TraceEvent{
         k == Access::write ? TraceEvent::Kind::write : TraceEvent::Kind::read,

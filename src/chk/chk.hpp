@@ -204,6 +204,10 @@ class Checker : public sim::BlockedInfoSource {
     sim::Time last_sync_t = 0;
   };
 
+  // Lazily materialize @p actor's clock (own component >= 1, length >=
+  // actor+1). Clocks start empty — an eager nactors^2 matrix would dominate
+  // memory at mega scale; absent components read as 0.
+  std::vector<Clock>& vc_of(int actor);
   Region* find_region(const void* p, std::size_t len, std::size_t& off);
   void check_access(Region& rg, const std::vector<Clock>& vc, int actor,
                     Clock epoch, std::size_t lo, std::size_t hi, Access k,

@@ -147,7 +147,8 @@ sim::CoTask run_plan(machine::TaskCtx& t, coll::Collectives& coll,
                                        127);
           }
         }
-        co_await coll.bcast(t, buf.data(), op.count, op.root);
+        co_await coll.bcast(t, coll::Buf::bytes(buf.data(), op.count),
+                            op.root);
         for (std::size_t i = 0; i < op.count; ++i) {
           auto want = static_cast<char>(
               (i * 31 + static_cast<std::size_t>(k)) % 127);
@@ -164,11 +165,13 @@ sim::CoTask run_plan(machine::TaskCtx& t, coll::Collectives& coll,
         std::vector<double> in(op.count), out(op.count, -1.0);
         for (std::size_t i = 0; i < op.count; ++i) in[i] = value(t.rank, k, i);
         if (op.kind == Op::reduce) {
-          co_await coll.reduce(t, in.data(), out.data(), op.count,
-                               coll::Dtype::f64, coll::RedOp::sum, op.root);
+          co_await coll.reduce(t, coll::of(in.data(), op.count),
+                               coll::of(out.data(), op.count),
+                               coll::RedOp::sum, op.root);
         } else {
-          co_await coll.allreduce(t, in.data(), out.data(), op.count,
-                                  coll::Dtype::f64, coll::RedOp::sum);
+          co_await coll.allreduce(t, coll::of(in.data(), op.count),
+                                  coll::of(out.data(), op.count),
+                                  coll::RedOp::sum);
         }
         if (op.kind == Op::allreduce || t.rank == op.root) {
           for (std::size_t i = 0; i < op.count; ++i) {
@@ -194,8 +197,8 @@ sim::CoTask run_plan(machine::TaskCtx& t, coll::Collectives& coll,
           }
         }
         std::vector<double> recv(op.count, -1.0);
-        co_await coll.scatter(t, send.data(), recv.data(),
-                              op.count * sizeof(double), op.root);
+        co_await coll.scatter(t, coll::of(send.data(), op.count),
+                              coll::of(recv.data(), op.count), op.root);
         for (std::size_t i = 0; i < op.count; ++i) {
           if (recv[i] != value(t.rank, k, i)) {
             v.expect_eq(k, t.rank, i, recv[i], value(t.rank, k, i));
@@ -214,11 +217,11 @@ sim::CoTask run_plan(machine::TaskCtx& t, coll::Collectives& coll,
         std::vector<double> all;
         if (holder) all.assign(op.count * static_cast<std::size_t>(n), -1.0);
         if (op.kind == Op::gather) {
-          co_await coll.gather(t, mine.data(), all.data(),
-                               op.count * sizeof(double), op.root);
+          co_await coll.gather(t, coll::of(mine.data(), op.count),
+                               coll::of(all.data(), op.count), op.root);
         } else {
-          co_await coll.allgather(t, mine.data(), all.data(),
-                                  op.count * sizeof(double));
+          co_await coll.allgather(t, coll::of(mine.data(), op.count),
+                                  coll::of(all.data(), op.count));
         }
         if (holder) {
           for (int r = 0; r < n; ++r) {
@@ -240,8 +243,9 @@ sim::CoTask run_plan(machine::TaskCtx& t, coll::Collectives& coll,
           in[i] = value(t.rank, k, i);
         }
         std::vector<double> out(op.count, -1.0);
-        co_await coll.reduce_scatter(t, in.data(), out.data(), op.count,
-                                     coll::Dtype::f64, coll::RedOp::sum);
+        co_await coll.reduce_scatter(t, coll::of(in.data(), op.count),
+                                     coll::of(out.data(), op.count),
+                                     coll::RedOp::sum);
         std::size_t base = static_cast<std::size_t>(t.rank) * op.count;
         for (std::size_t i = 0; i < op.count; ++i) {
           double want = 0.0;

@@ -1,0 +1,97 @@
+// coll::Buf: the one buffer descriptor every collective operation takes.
+//
+// The one rule: `count` is the number of `dtype` elements in ONE rank's
+// block. For the non-personalized ops (bcast/reduce/allreduce) the block is
+// the whole message; for the personalized ops (scatter/gather/allgather/
+// reduce_scatter) the rooted/full side must provide nranks consecutive
+// blocks and `block(r)` addresses rank r's. There are no parallel
+// `bytes_per` / `count_per_rank` conventions any more — untyped data is
+// simply `Dtype::kByte`.
+//
+// A Buf is either *real* (wraps caller memory; protocols memcpy through it)
+// or *symbolic* (wraps a span of coll::Payload digest blocks; transport is
+// cost-modeled and the digests move instead of bytes). Both kinds flow
+// through the identical Collectives signatures, so benches, tests, and the
+// chk/mc hooks do not care which plane a run uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "coll/ops.hpp"
+#include "coll/payload.hpp"
+
+namespace srm::coll {
+
+struct Buf {
+  void* data = nullptr;      // real mode: base of block 0
+  Payload* pay = nullptr;    // symbolic mode: digest store (caller-owned)
+  std::size_t block0 = 0;    // symbolic mode: this Buf's first block in *pay
+  Dtype dtype = Dtype::kByte;
+  std::size_t count = 0;     // elements in ONE rank block
+
+  bool symbolic() const noexcept { return pay != nullptr; }
+  std::size_t esize() const noexcept { return dtype_size(dtype); }
+  /// Bytes in one rank block.
+  std::size_t block_bytes() const noexcept { return count * esize(); }
+
+  // ---- factories ----
+
+  /// Typed view of caller memory. The const overload is for send-side
+  /// buffers: the descriptor is shared with receive paths, but no op writes
+  /// through a send Buf.
+  static Buf wrap(void* p, Dtype d, std::size_t count) noexcept {
+    return Buf{p, nullptr, 0, d, count};
+  }
+  static Buf wrap(const void* p, Dtype d, std::size_t count) noexcept {
+    return Buf{const_cast<void*>(p), nullptr, 0, d, count};
+  }
+  /// Untyped view: @p n bytes of Dtype::kByte elements.
+  static Buf bytes(void* p, std::size_t n) noexcept {
+    return wrap(p, Dtype::kByte, n);
+  }
+  static Buf bytes(const void* p, std::size_t n) noexcept {
+    return wrap(p, Dtype::kByte, n);
+  }
+  /// Symbolic view: blocks [block0, ...) of @p pay, each @p count elements.
+  static Buf symbolic(Payload& pay, Dtype d, std::size_t count,
+                      std::size_t block0 = 0) noexcept {
+    return Buf{nullptr, &pay, block0, d, count};
+  }
+
+  // ---- v-variant-ready block addressing ----
+
+  /// Real mode: the start of rank @p r's block.
+  void* block(int r) const noexcept {
+    return static_cast<std::byte*>(data) +
+           static_cast<std::size_t>(r) * block_bytes();
+  }
+  /// Symbolic mode: the Payload block index of rank @p r's block.
+  std::size_t block_index(int r) const noexcept {
+    return block0 + static_cast<std::size_t>(r);
+  }
+};
+
+/// Dtype-deducing factories: `coll::of(v.data(), v.size())`.
+inline Buf of(double* p, std::size_t n) { return Buf::wrap(p, Dtype::f64, n); }
+inline Buf of(const double* p, std::size_t n) {
+  return Buf::wrap(p, Dtype::f64, n);
+}
+inline Buf of(float* p, std::size_t n) { return Buf::wrap(p, Dtype::f32, n); }
+inline Buf of(const float* p, std::size_t n) {
+  return Buf::wrap(p, Dtype::f32, n);
+}
+inline Buf of(std::int32_t* p, std::size_t n) {
+  return Buf::wrap(p, Dtype::i32, n);
+}
+inline Buf of(const std::int32_t* p, std::size_t n) {
+  return Buf::wrap(p, Dtype::i32, n);
+}
+inline Buf of(std::int64_t* p, std::size_t n) {
+  return Buf::wrap(p, Dtype::i64, n);
+}
+inline Buf of(const std::int64_t* p, std::size_t n) {
+  return Buf::wrap(p, Dtype::i64, n);
+}
+
+}  // namespace srm::coll

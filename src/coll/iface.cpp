@@ -1,0 +1,130 @@
+// API-boundary validation for the Collectives entry points.
+//
+// Every invariant a backend used to assert deep inside protocol code is
+// checked here once, before dispatch: root range, send/recv dtype and
+// equal-block count agreement, real-vs-symbolic mode agreement, numeric
+// dtype for reductions, and symbolic block-span bounds. The wrappers are
+// plain functions (not coroutines), so a violated invariant fires at the
+// call site, not at first resume.
+
+#include "coll/iface.hpp"
+
+#include "util/check.hpp"
+
+namespace srm::coll {
+
+namespace {
+
+// One significant Buf: non-empty storage in exactly one mode, and —
+// symbolically — enough digest blocks with a matching block size.
+void check_buf(const Buf& b, int nranks_blocks, const char* what) {
+  if (b.count == 0) return;
+  SRM_CHECK_MSG(dtype_size(b.dtype) > 0, what << ": bad dtype");
+  if (b.symbolic()) {
+    SRM_CHECK_MSG(b.data == nullptr,
+                  what << ": a Buf is real or symbolic, not both");
+    SRM_CHECK_MSG(b.pay->block_bytes() == b.block_bytes(),
+                  what << ": payload models " << b.pay->block_bytes()
+                       << "-byte blocks, Buf describes " << b.block_bytes());
+    SRM_CHECK_MSG(
+        b.block0 + static_cast<std::size_t>(nranks_blocks) <=
+            b.pay->nblocks(),
+        what << ": payload spans " << b.pay->nblocks() << " blocks, op needs "
+             << b.block0 + static_cast<std::size_t>(nranks_blocks));
+  } else {
+    SRM_CHECK_MSG(b.data != nullptr, what << ": null data");
+  }
+}
+
+// The equal-block invariant between a send/recv pair: same element type,
+// same per-block element count, same transport plane.
+void check_pair(const Buf& s, const Buf& r) {
+  if (s.count == 0 && r.count == 0) return;
+  SRM_CHECK_MSG(s.dtype == r.dtype, "send/recv dtype mismatch");
+  SRM_CHECK_MSG(s.count == r.count,
+                "send/recv block mismatch: " << s.count << " != " << r.count
+                                             << " elements per rank block");
+  SRM_CHECK_MSG(s.symbolic() == r.symbolic(),
+                "send/recv mix real and symbolic transport");
+}
+
+void check_root(const machine::TaskCtx& t, int root) {
+  SRM_CHECK_MSG(root >= 0 && root < t.nranks(),
+                "root " << root << " out of range [0," << t.nranks() << ")");
+}
+
+void check_numeric(const Buf& b) {
+  SRM_CHECK_MSG(b.dtype != Dtype::kByte,
+                "reductions need a numeric Dtype, not kByte");
+}
+
+}  // namespace
+
+sim::CoTask Collectives::bcast(machine::TaskCtx& t, Buf buf, int root) {
+  check_root(t, root);
+  check_buf(buf, 1, "bcast buf");
+  return v_bcast(t, buf, root);
+}
+
+sim::CoTask Collectives::reduce(machine::TaskCtx& t, Buf send, Buf recv,
+                                RedOp op, int root) {
+  check_root(t, root);
+  check_numeric(send);
+  check_buf(send, 1, "reduce send");
+  if (t.rank == root) {
+    check_pair(send, recv);
+    check_buf(recv, 1, "reduce recv");
+  }
+  return v_reduce(t, send, recv, op, root);
+}
+
+sim::CoTask Collectives::allreduce(machine::TaskCtx& t, Buf send, Buf recv,
+                                   RedOp op) {
+  check_numeric(send);
+  check_pair(send, recv);
+  check_buf(send, 1, "allreduce send");
+  check_buf(recv, 1, "allreduce recv");
+  return v_allreduce(t, send, recv, op);
+}
+
+sim::CoTask Collectives::barrier(machine::TaskCtx& t) { return v_barrier(t); }
+
+sim::CoTask Collectives::scatter(machine::TaskCtx& t, Buf send, Buf recv,
+                                 int root) {
+  check_root(t, root);
+  check_buf(recv, 1, "scatter recv");
+  if (t.rank == root) {
+    check_pair(send, recv);
+    check_buf(send, t.nranks(), "scatter send");
+  }
+  return v_scatter(t, send, recv, root);
+}
+
+sim::CoTask Collectives::gather(machine::TaskCtx& t, Buf send, Buf recv,
+                                int root) {
+  check_root(t, root);
+  check_buf(send, 1, "gather send");
+  if (t.rank == root) {
+    check_pair(send, recv);
+    check_buf(recv, t.nranks(), "gather recv");
+  }
+  return v_gather(t, send, recv, root);
+}
+
+sim::CoTask Collectives::allgather(machine::TaskCtx& t, Buf send, Buf recv) {
+  check_pair(send, recv);
+  check_buf(send, 1, "allgather send");
+  check_buf(recv, t.nranks(), "allgather recv");
+  return v_allgather(t, send, recv);
+}
+
+sim::CoTask Collectives::reduce_scatter(machine::TaskCtx& t, Buf send,
+                                        Buf recv, RedOp op) {
+  check_numeric(send);
+  check_pair(send, recv);
+  check_buf(send, t.nranks(), "reduce_scatter send");
+  check_buf(recv, 1, "reduce_scatter recv");
+  return v_reduce_scatter(t, send, recv, op);
+}
+
+}  // namespace srm::coll

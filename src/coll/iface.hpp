@@ -1,17 +1,28 @@
 // Collectives: the abstract operation set shared by SRM and the mini-MPI
 // baselines, so benchmarks, examples, and tests can swap implementations.
 //
-// One signature shape for the whole set:
-//  * byte-oriented ops (bcast, scatter, gather, allgather) size data in
-//    bytes — @p bytes_per is one rank's block for the personalized ops;
-//  * element-oriented ops (reduce, allreduce, reduce_scatter) take an
-//    element count + Dtype + RedOp, since the reduction needs the element
-//    type anyway. reduce_scatter's @p count_per_rank is one rank's share.
+// One signature shape for the whole set, built on the coll::Buf descriptor
+// (buf.hpp). The one rule: `Buf::count` is the number of `Buf::dtype`
+// elements in ONE rank's block —
+//  * bcast/reduce/allreduce: the block is the whole message;
+//  * scatter/gather/allgather/reduce_scatter: the rooted/full side spans
+//    nranks consecutive blocks (`Buf::block(r)` addresses rank r's), the
+//    per-rank side is exactly one block.
+// Untyped movement ops pass Dtype::kByte; reductions require a numeric
+// Dtype. A Buf is either real (wraps memory) or symbolic (wraps Payload
+// digests; transport is cost-modeled) — backends dispatch both uniformly.
+//
+// The public entry points are non-virtual: they validate the per-call
+// invariants (root range, dtype/count agreement between send and recv,
+// mode agreement, symbolic block-span bounds) at the API boundary, then
+// forward to the protected v_* hooks a backend implements. Equal-block
+// invariants live here, not deep inside protocol code.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
+#include "coll/buf.hpp"
 #include "coll/ops.hpp"
 #include "machine/cluster.hpp"
 #include "sim/task.hpp"
@@ -22,34 +33,45 @@ class Collectives {
  public:
   virtual ~Collectives() = default;
 
-  virtual sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
-                            int root) = 0;
-  virtual sim::CoTask reduce(machine::TaskCtx& t, const void* send,
-                             void* recv, std::size_t count, Dtype d, RedOp op,
-                             int root) = 0;
-  virtual sim::CoTask allreduce(machine::TaskCtx& t, const void* send,
-                                void* recv, std::size_t count, Dtype d,
-                                RedOp op) = 0;
-  virtual sim::CoTask barrier(machine::TaskCtx& t) = 0;
+  /// Broadcast @p buf (one block) from @p root to every rank.
+  sim::CoTask bcast(machine::TaskCtx& t, Buf buf, int root);
 
-  // Personalized operation set (equal counts). @p bytes_per is one rank's
-  // block.
-  virtual sim::CoTask scatter(machine::TaskCtx& t, const void* send,
-                              void* recv, std::size_t bytes_per,
-                              int root) = 0;
-  virtual sim::CoTask gather(machine::TaskCtx& t, const void* send,
-                             void* recv, std::size_t bytes_per, int root) = 0;
-  virtual sim::CoTask allgather(machine::TaskCtx& t, const void* send,
-                                void* recv, std::size_t bytes_per) = 0;
+  /// Element-wise reduce of one block; @p recv significant at @p root only.
+  sim::CoTask reduce(machine::TaskCtx& t, Buf send, Buf recv, RedOp op,
+                     int root);
+  /// Reduce + result on every rank.
+  sim::CoTask allreduce(machine::TaskCtx& t, Buf send, Buf recv, RedOp op);
 
-  /// Element-wise reduce of nranks*@p count_per_rank elements; rank r keeps
-  /// block r (@p count_per_rank elements) of the result in @p recv.
-  virtual sim::CoTask reduce_scatter(machine::TaskCtx& t, const void* send,
-                                     void* recv, std::size_t count_per_rank,
-                                     Dtype d, RedOp op) = 0;
+  sim::CoTask barrier(machine::TaskCtx& t);
+
+  /// Root's @p send spans nranks blocks; every rank receives its block.
+  sim::CoTask scatter(machine::TaskCtx& t, Buf send, Buf recv, int root);
+  /// Every rank sends one block; root's @p recv spans nranks blocks.
+  sim::CoTask gather(machine::TaskCtx& t, Buf send, Buf recv, int root);
+  /// gather to everyone: @p recv spans nranks blocks on every rank.
+  sim::CoTask allgather(machine::TaskCtx& t, Buf send, Buf recv);
+  /// Element-wise reduce of nranks blocks (@p send spans them all); rank r
+  /// keeps block r of the result in @p recv (one block).
+  sim::CoTask reduce_scatter(machine::TaskCtx& t, Buf send, Buf recv,
+                             RedOp op);
 
   /// Short human-readable implementation tag ("srm", "mpi/ibm", ...).
   virtual std::string label() const = 0;
+
+ protected:
+  virtual sim::CoTask v_bcast(machine::TaskCtx& t, Buf buf, int root) = 0;
+  virtual sim::CoTask v_reduce(machine::TaskCtx& t, Buf send, Buf recv,
+                               RedOp op, int root) = 0;
+  virtual sim::CoTask v_allreduce(machine::TaskCtx& t, Buf send, Buf recv,
+                                  RedOp op) = 0;
+  virtual sim::CoTask v_barrier(machine::TaskCtx& t) = 0;
+  virtual sim::CoTask v_scatter(machine::TaskCtx& t, Buf send, Buf recv,
+                                int root) = 0;
+  virtual sim::CoTask v_gather(machine::TaskCtx& t, Buf send, Buf recv,
+                               int root) = 0;
+  virtual sim::CoTask v_allgather(machine::TaskCtx& t, Buf send, Buf recv) = 0;
+  virtual sim::CoTask v_reduce_scatter(machine::TaskCtx& t, Buf send, Buf recv,
+                                       RedOp op) = 0;
 };
 
 }  // namespace srm::coll

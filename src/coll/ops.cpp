@@ -12,6 +12,7 @@ const char* dtype_name(Dtype d) {
     case Dtype::f32: return "f32";
     case Dtype::i32: return "i32";
     case Dtype::i64: return "i64";
+    case Dtype::kByte: return "byte";
   }
   return "?";
 }
@@ -87,6 +88,10 @@ void combine(RedOp op, Dtype d, void* inout, const void* in,
       combine_typed(op, static_cast<std::int64_t*>(inout),
                     static_cast<const std::int64_t*>(in), count);
       break;
+    case Dtype::kByte:
+      SRM_CHECK_MSG(false, "combine over Dtype::kByte: reductions need a "
+                           "numeric element type");
+      break;
   }
 }
 
@@ -113,6 +118,10 @@ void combine_out(RedOp op, Dtype d, void* dst, const void* a, const void* b,
       combine_out_typed(op, static_cast<std::int64_t*>(dst),
                         static_cast<const std::int64_t*>(a),
                         static_cast<const std::int64_t*>(b), count);
+      break;
+    case Dtype::kByte:
+      SRM_CHECK_MSG(false, "combine_out over Dtype::kByte: reductions need a "
+                           "numeric element type");
       break;
   }
 }

@@ -11,7 +11,10 @@
 
 namespace srm::coll {
 
-enum class Dtype { f64, f32, i32, i64 };
+/// Element types. `kByte` is the untyped element for pure data-movement ops
+/// (bcast/scatter/gather/allgather of raw bytes); reductions require a
+/// numeric type.
+enum class Dtype { f64, f32, i32, i64, kByte };
 enum class RedOp { sum, prod, min, max };
 
 constexpr std::size_t dtype_size(Dtype d) {
@@ -20,6 +23,7 @@ constexpr std::size_t dtype_size(Dtype d) {
     case Dtype::f32: return 4;
     case Dtype::i32: return 4;
     case Dtype::i64: return 8;
+    case Dtype::kByte: return 1;
   }
   return 0;
 }

@@ -1,0 +1,228 @@
+#include "coll/payload.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace srm::coll {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::byte* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Bytes a Payload accounts against the global live-digest counter.
+std::uint64_t& live_counter() {
+  static std::uint64_t live = 0;
+  return live;
+}
+
+// Encode the pattern element for (seed, gblock, i) into up to 8 bytes.
+std::size_t encode_element(Dtype d, std::uint64_t seed, std::size_t gblock,
+                           std::size_t i, std::byte out[8]) {
+  std::uint64_t v = pattern_value(seed, gblock, i);
+  switch (d) {
+    case Dtype::f64: {
+      double x = static_cast<double>(v);
+      std::memcpy(out, &x, 8);
+      return 8;
+    }
+    case Dtype::f32: {
+      float x = static_cast<float>(v);
+      std::memcpy(out, &x, 4);
+      return 4;
+    }
+    case Dtype::i32: {
+      std::int32_t x = static_cast<std::int32_t>(v);
+      std::memcpy(out, &x, 4);
+      return 4;
+    }
+    case Dtype::i64: {
+      std::int64_t x = static_cast<std::int64_t>(v);
+      std::memcpy(out, &x, 8);
+      return 8;
+    }
+    case Dtype::kByte: {
+      out[0] = static_cast<std::byte>(v & 0xff);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t pattern_value(std::uint64_t seed, std::size_t gblock,
+                            std::size_t i) {
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull +
+                    static_cast<std::uint64_t>(gblock) * 0xBF58476D1CE4E5B9ull +
+                    static_cast<std::uint64_t>(i) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  x *= 0xD6E8FEB86659FD93ull;
+  x ^= x >> 27;
+  // Small integers: exactly representable in every Dtype, and sums/products
+  // over them stay association-order independent (see payload.hpp).
+  return x % 9 + 1;
+}
+
+Payload::Payload(std::size_t nblocks, std::size_t block_bytes)
+    : block_bytes_(block_bytes), blocks_(nblocks) {
+  live_counter() += blocks_.size() * sizeof(Block);
+}
+
+Payload::Payload(const Payload& o)
+    : block_bytes_(o.block_bytes_), blocks_(o.blocks_) {
+  live_counter() += blocks_.size() * sizeof(Block);
+}
+
+Payload::Payload(Payload&& o) noexcept
+    : block_bytes_(o.block_bytes_), blocks_(std::move(o.blocks_)) {
+  o.blocks_.clear();
+  o.block_bytes_ = 0;
+}
+
+Payload& Payload::operator=(const Payload& o) {
+  if (this != &o) {
+    live_counter() -= blocks_.size() * sizeof(Block);
+    block_bytes_ = o.block_bytes_;
+    blocks_ = o.blocks_;
+    live_counter() += blocks_.size() * sizeof(Block);
+  }
+  return *this;
+}
+
+Payload& Payload::operator=(Payload&& o) noexcept {
+  if (this != &o) {
+    live_counter() -= blocks_.size() * sizeof(Block);
+    block_bytes_ = o.block_bytes_;
+    blocks_ = std::move(o.blocks_);
+    o.blocks_.clear();
+    o.block_bytes_ = 0;
+  }
+  return *this;
+}
+
+Payload::~Payload() { live_counter() -= blocks_.size() * sizeof(Block); }
+
+std::uint64_t Payload::live_bytes() { return live_counter(); }
+
+void Payload::fill_pattern(Dtype d, std::uint64_t seed,
+                           std::size_t first_global) {
+  const std::size_t esize = dtype_size(d);
+  SRM_CHECK(esize > 0 && block_bytes_ % esize == 0);
+  const std::size_t elems = block_bytes_ / esize;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    Block& blk = blocks_[b];
+    std::uint64_t h = kFnvBasis;
+    std::size_t off = 0;
+    std::byte enc[8];
+    for (std::size_t i = 0; i < elems; ++i) {
+      std::size_t n = encode_element(d, seed, first_global + b, i, enc);
+      h = fnv1a(h, enc, n);
+      if (off < kWindow) {
+        std::size_t take = std::min(n, kWindow - off);
+        std::memcpy(blk.win.data() + off, enc, take);
+        off += take;
+      }
+    }
+    blk.sum = h;
+  }
+}
+
+Payload Payload::digest_of(const void* data, Dtype d, std::size_t nblocks,
+                           std::size_t block_elems) {
+  const std::size_t esize = dtype_size(d);
+  Payload p(nblocks, block_elems * esize);
+  const auto* base = static_cast<const std::byte*>(data);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::byte* blk = base + b * p.block_bytes_;
+    Block& out = p.blocks_[b];
+    out.sum = fnv1a(kFnvBasis, blk, p.block_bytes_);
+    std::memcpy(out.win.data(), blk, p.win_len());
+  }
+  return p;
+}
+
+void Payload::copy_blocks(const Payload& src, std::size_t src_first,
+                          std::size_t dst_first, std::size_t n) {
+  SRM_CHECK_MSG(src.block_bytes_ == block_bytes_,
+                "payload block size mismatch: " << src.block_bytes_
+                                                << " != " << block_bytes_);
+  SRM_CHECK(src_first + n <= src.blocks_.size());
+  SRM_CHECK(dst_first + n <= blocks_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    blocks_[dst_first + i] = src.blocks_[src_first + i];
+  }
+}
+
+void Payload::combine_blocks(const Payload& src, std::size_t src_first,
+                             std::size_t dst_first, std::size_t n, Dtype d,
+                             RedOp op) {
+  SRM_CHECK(src_first + n <= src.blocks_.size());
+  SRM_CHECK(dst_first + n <= blocks_.size());
+  SRM_CHECK(src.block_bytes_ == block_bytes_);
+  const std::size_t esize = dtype_size(d);
+  SRM_CHECK(d != Dtype::kByte && block_bytes_ % esize == 0);
+  const std::size_t win_elems = win_len() / esize;
+  for (std::size_t b = 0; b < n; ++b) {
+    Block& dst = blocks_[dst_first + b];
+    const Block& in = src.blocks_[src_first + b];
+    combine(op, d, dst.win.data(), in.win.data(), win_elems);
+    // Commutative + associative mix: equal whatever order the tree combines
+    // contributions in, so symbolic runs stay schedule-independent.
+    dst.sum += in.sum;
+  }
+}
+
+bool Payload::identical_to(const Payload& o) const {
+  if (blocks_.size() != o.blocks_.size() || block_bytes_ != o.block_bytes_) {
+    return false;
+  }
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].sum != o.blocks_[b].sum) return false;
+    if (std::memcmp(blocks_[b].win.data(), o.blocks_[b].win.data(),
+                    win_len()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Payload::windows_equal(const Payload& o, Dtype) const {
+  if (blocks_.size() != o.blocks_.size() || block_bytes_ != o.block_bytes_) {
+    return false;
+  }
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (std::memcmp(blocks_[b].win.data(), o.blocks_[b].win.data(),
+                    win_len()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void fill_pattern(void* data, Dtype d, std::size_t nblocks,
+                  std::size_t block_elems, std::uint64_t seed,
+                  std::size_t first_global) {
+  const std::size_t esize = dtype_size(d);
+  auto* base = static_cast<std::byte*>(data);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::byte* blk = base + b * block_elems * esize;
+    for (std::size_t i = 0; i < block_elems; ++i) {
+      std::byte enc[8];
+      std::size_t n = encode_element(d, seed, first_global + b, i, enc);
+      std::memcpy(blk + i * esize, enc, n);
+    }
+  }
+}
+
+}  // namespace srm::coll

@@ -1,0 +1,108 @@
+// Payload: the symbolic stand-in for collective message data.
+//
+// A mega-scale run (4096 nodes x 64 tasks, megabyte messages) cannot afford
+// real per-rank buffers: that is O(ranks x message size) — terabytes. In
+// symbolic mode each rank block is represented by a fixed-size digest:
+//
+//  * `sum`  — FNV-1a checksum over the block's full byte image. Exact for
+//    every data-*movement* op (bcast/scatter/gather/allgather): a correct
+//    protocol must deliver the identical byte image, so the checksum of a
+//    symbolic run equals the checksum of a real-copy run block for block.
+//  * `win`  — the first `kWindow` real bytes of the block, carried and
+//    combined element-exactly. Reductions cannot compose checksums
+//    (checksum(a+b) is not derivable from checksum(a), checksum(b)), so the
+//    window is the element-exact sample that keeps reduce/allreduce/
+//    reduce_scatter testable against a real-copy run; the checksum of a
+//    combined block degrades to a commutative mix that still distinguishes
+//    "right inputs" from "wrong inputs" deterministically.
+//
+// Memory is O(active blocks): ~72 bytes per rank block, independent of the
+// modeled message size. `live_bytes()` exposes the global footprint so tests
+// can assert the ceiling.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "coll/ops.hpp"
+
+namespace srm::coll {
+
+class Payload {
+ public:
+  /// Bytes of real data carried per block (the sampled memcpy window).
+  static constexpr std::size_t kWindow = 64;
+
+  struct Block {
+    std::uint64_t sum = kEmptySum;         // FNV-1a of the full block image
+    std::array<std::byte, kWindow> win{};  // real first bytes of the block
+  };
+
+  Payload() = default;
+  /// @p nblocks rank blocks, each modeling @p block_bytes bytes of data.
+  Payload(std::size_t nblocks, std::size_t block_bytes);
+  Payload(const Payload&);
+  Payload(Payload&&) noexcept;
+  Payload& operator=(const Payload&);
+  Payload& operator=(Payload&&) noexcept;
+  ~Payload();
+
+  std::size_t nblocks() const noexcept { return blocks_.size(); }
+  std::size_t block_bytes() const noexcept { return block_bytes_; }
+  std::size_t win_len() const noexcept {
+    return block_bytes_ < kWindow ? block_bytes_ : kWindow;
+  }
+
+  Block& block(std::size_t i) { return blocks_.at(i); }
+  const Block& block(std::size_t i) const { return blocks_.at(i); }
+
+  /// Fill every block with the deterministic test pattern: block `b` gets
+  /// the element stream pattern_value(seed, first_global + b, i) encoded as
+  /// @p d. Use coll::fill_pattern to produce the identical byte image in a
+  /// real buffer.
+  void fill_pattern(Dtype d, std::uint64_t seed, std::size_t first_global = 0);
+
+  /// Digest a real buffer: @p nblocks consecutive blocks of @p block_elems
+  /// elements each starting at @p data.
+  static Payload digest_of(const void* data, Dtype d, std::size_t nblocks,
+                           std::size_t block_elems);
+
+  /// blocks [dst_first, dst_first+n) = src blocks [src_first, src_first+n).
+  void copy_blocks(const Payload& src, std::size_t src_first,
+                   std::size_t dst_first, std::size_t n);
+
+  /// Element-exact window combine + commutative checksum mix:
+  /// block dst_first+i = op(block dst_first+i, src block src_first+i).
+  void combine_blocks(const Payload& src, std::size_t src_first,
+                      std::size_t dst_first, std::size_t n, Dtype d, RedOp op);
+
+  bool identical_to(const Payload& o) const;      // sums + windows
+  bool windows_equal(const Payload& o, Dtype d) const;  // windows only
+
+  /// Global digest footprint (bytes) of all live Payload objects — what a
+  /// symbolic run actually allocates in place of rank payload buffers.
+  static std::uint64_t live_bytes();
+
+ private:
+  static constexpr std::uint64_t kEmptySum = 0xcbf29ce484222325ull;  // FNV basis
+
+  std::size_t block_bytes_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// The deterministic small-integer element at position @p i of global block
+/// @p gblock for @p seed. Values are small integers (exactly representable,
+/// sum/prod/min/max over them is association-order independent in every
+/// Dtype), so symbolic window combines match real-buffer combines bitwise.
+std::uint64_t pattern_value(std::uint64_t seed, std::size_t gblock,
+                            std::size_t i);
+
+/// Fill a real buffer with the same pattern Payload::fill_pattern models:
+/// @p nblocks blocks of @p block_elems elements each.
+void fill_pattern(void* data, Dtype d, std::size_t nblocks,
+                  std::size_t block_elems, std::uint64_t seed,
+                  std::size_t first_global = 0);
+
+}  // namespace srm::coll

@@ -152,19 +152,29 @@ Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
     : cluster_(&cluster),
       fabric_(&fabric),
       cfg_(cfg),
-      name_(std::move(name)) {
+      name_(std::move(name)),
+      sym_(cluster, coll::sym::Profile{cluster.params().net.o_send,
+                                       cfg.bcast_net_chunk,
+                                       cfg.internode_tree}) {
   SRM_CHECK(cfg_.smp_buf_bytes >= cfg_.bcast_small_max);
   SRM_CHECK(cfg_.reduce_chunk % 8 == 0);
   SRM_CHECK(cfg_.bcast_pipe_chunk > 0 && cfg_.bcast_net_chunk > 0);
-  const auto& topo = cluster.topology();
+  // Only the per-rank scalar bookkeeping is eager; the per-node shared
+  // structures and per-link parity vectors wait for the first real op.
+  ranks_.resize(static_cast<std::size_t>(cluster.topology().nranks()));
+}
+
+void Communicator::ensure_real_state() {
+  if (real_ready_) return;
+  real_ready_ = true;
+  const auto& topo = cluster_->topology();
   nodes_.reserve(static_cast<std::size_t>(topo.nodes()));
   for (int n = 0; n < topo.nodes(); ++n) {
-    auto& node = cluster.node(n);
+    auto& node = cluster_->node(n);
     nodes_.push_back(&node.seg.object<NodeState>(
-        "srm/" + name_, cluster.engine(), cluster.params().mem, topo, cfg_,
-        node.seg, "srm/" + name_));
+        "srm/" + name_, cluster_->engine(), cluster_->params().mem, topo,
+        cfg_, node.seg, "srm/" + name_));
   }
-  ranks_.resize(static_cast<std::size_t>(topo.nranks()));
   for (auto& r : ranks_) {
     r.red_sent.assign(static_cast<std::size_t>(topo.nodes()), 0);
     r.red_recvd.assign(static_cast<std::size_t>(topo.nodes()), 0);
@@ -175,11 +185,130 @@ Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
 }
 
 // ---------------------------------------------------------------------------
-// Public dispatch
+// Plane dispatch (coll::Collectives hooks)
 // ---------------------------------------------------------------------------
 
-sim::CoTask Communicator::bcast(machine::TaskCtx& t, void* buf,
-                                std::size_t bytes, int root) {
+sim::CoTask Communicator::v_bcast(machine::TaskCtx& t, coll::Buf buf,
+                                  int root) {
+  if (buf.symbolic()) {
+    obs::Span span(*t.obs, t.rank, "srm.bcast");
+    chk::StageScope stage(t.chk, "srm.bcast");
+    rank_state(t).op_seq++;
+    sym_used_ = true;
+    co_await sym_.bcast(t, buf, root);
+  } else {
+    if (buf.count != 0) ensure_real_state();
+    co_await real_bcast(t, buf.data, buf.count * buf.esize(), root);
+  }
+}
+
+sim::CoTask Communicator::v_reduce(machine::TaskCtx& t, coll::Buf send,
+                                   coll::Buf recv, coll::RedOp op, int root) {
+  if (send.symbolic()) {
+    obs::Span span(*t.obs, t.rank, "srm.reduce");
+    chk::StageScope stage(t.chk, "srm.reduce");
+    rank_state(t).op_seq++;
+    sym_used_ = true;
+    co_await sym_.reduce(t, send, recv, op, root);
+  } else {
+    if (send.count != 0) ensure_real_state();
+    co_await real_reduce(t, send.data, recv.data, send.count, send.dtype, op,
+                         root);
+  }
+}
+
+sim::CoTask Communicator::v_allreduce(machine::TaskCtx& t, coll::Buf send,
+                                      coll::Buf recv, coll::RedOp op) {
+  if (send.symbolic()) {
+    obs::Span span(*t.obs, t.rank, "srm.allreduce");
+    chk::StageScope stage(t.chk, "srm.allreduce");
+    rank_state(t).op_seq++;
+    sym_used_ = true;
+    co_await sym_.allreduce(t, send, recv, op);
+  } else {
+    if (send.count != 0) ensure_real_state();
+    co_await real_allreduce(t, send.data, recv.data, send.count, send.dtype,
+                            op);
+  }
+}
+
+sim::CoTask Communicator::v_barrier(machine::TaskCtx& t) {
+  if (sym_used_ && !real_ready_) {
+    obs::Span span(*t.obs, t.rank, "srm.barrier");
+    chk::StageScope stage(t.chk, "srm.barrier");
+    rank_state(t).op_seq++;
+    co_await sym_.barrier(t);
+  } else {
+    ensure_real_state();
+    co_await real_barrier(t);
+  }
+}
+
+sim::CoTask Communicator::v_scatter(machine::TaskCtx& t, coll::Buf send,
+                                    coll::Buf recv, int root) {
+  if (recv.symbolic()) {
+    obs::Span span(*t.obs, t.rank, "srm.scatter");
+    chk::StageScope stage(t.chk, "srm.scatter");
+    rank_state(t).op_seq++;
+    sym_used_ = true;
+    co_await sym_.scatter(t, send, recv, root);
+  } else {
+    if (recv.count != 0) ensure_real_state();
+    co_await real_scatter(t, send.data, recv.data,
+                          recv.count * recv.esize(), root);
+  }
+}
+
+sim::CoTask Communicator::v_gather(machine::TaskCtx& t, coll::Buf send,
+                                   coll::Buf recv, int root) {
+  if (send.symbolic()) {
+    obs::Span span(*t.obs, t.rank, "srm.gather");
+    chk::StageScope stage(t.chk, "srm.gather");
+    rank_state(t).op_seq++;
+    sym_used_ = true;
+    co_await sym_.gather(t, send, recv, root);
+  } else {
+    if (send.count != 0) ensure_real_state();
+    co_await real_gather(t, send.data, recv.data,
+                         send.count * send.esize(), root);
+  }
+}
+
+sim::CoTask Communicator::v_allgather(machine::TaskCtx& t, coll::Buf send,
+                                      coll::Buf recv) {
+  if (send.symbolic()) {
+    obs::Span span(*t.obs, t.rank, "srm.allgather");
+    chk::StageScope stage(t.chk, "srm.allgather");
+    sym_used_ = true;
+    co_await sym_.allgather(t, send, recv);
+  } else {
+    if (send.count != 0) ensure_real_state();
+    co_await real_allgather(t, send.data, recv.data,
+                            send.count * send.esize());
+  }
+}
+
+sim::CoTask Communicator::v_reduce_scatter(machine::TaskCtx& t,
+                                           coll::Buf send, coll::Buf recv,
+                                           coll::RedOp op) {
+  if (send.symbolic()) {
+    obs::Span span(*t.obs, t.rank, "srm.reduce_scatter");
+    chk::StageScope stage(t.chk, "srm.reduce_scatter");
+    sym_used_ = true;
+    co_await sym_.reduce_scatter(t, send, recv, op);
+  } else {
+    if (recv.count != 0) ensure_real_state();
+    co_await real_reduce_scatter(t, send.data, recv.data, recv.count,
+                                 recv.dtype, op);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real plane
+// ---------------------------------------------------------------------------
+
+sim::CoTask Communicator::real_bcast(machine::TaskCtx& t, void* buf,
+                                     std::size_t bytes, int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
   SRM_CHECK(bytes == 0 || buf != nullptr);
   obs::Span span(*t.obs, t.rank, "srm.bcast");
@@ -200,9 +329,10 @@ sim::CoTask Communicator::bcast(machine::TaskCtx& t, void* buf,
   if (manage) ep(t.rank).set_interrupts(true);
 }
 
-sim::CoTask Communicator::reduce(machine::TaskCtx& t, const void* send,
-                                 void* recv, std::size_t count,
-                                 coll::Dtype d, coll::RedOp op, int root) {
+sim::CoTask Communicator::real_reduce(machine::TaskCtx& t, const void* send,
+                                      void* recv, std::size_t count,
+                                      coll::Dtype d, coll::RedOp op,
+                                      int root) {
   SRM_CHECK(root >= 0 && root < t.nranks());
   SRM_CHECK(send != recv);
   obs::Span span(*t.obs, t.rank, "srm.reduce");
@@ -220,9 +350,10 @@ sim::CoTask Communicator::reduce(machine::TaskCtx& t, const void* send,
   if (manage) ep(t.rank).set_interrupts(true);
 }
 
-sim::CoTask Communicator::allreduce(machine::TaskCtx& t, const void* send,
-                                    void* recv, std::size_t count,
-                                    coll::Dtype d, coll::RedOp op) {
+sim::CoTask Communicator::real_allreduce(machine::TaskCtx& t,
+                                         const void* send, void* recv,
+                                         std::size_t count, coll::Dtype d,
+                                         coll::RedOp op) {
   SRM_CHECK(send != recv);
   obs::Span span(*t.obs, t.rank, "srm.allreduce");
   chk::StageScope stage(t.chk, "srm.allreduce");
@@ -240,7 +371,7 @@ sim::CoTask Communicator::allreduce(machine::TaskCtx& t, const void* send,
   }
 }
 
-sim::CoTask Communicator::barrier(machine::TaskCtx& t) {
+sim::CoTask Communicator::real_barrier(machine::TaskCtx& t) {
   obs::Span span(*t.obs, t.rank, "srm.barrier");
   chk::StageScope stage(t.chk, "srm.barrier");
   rank_state(t).op_seq++;

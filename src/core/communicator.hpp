@@ -7,7 +7,18 @@
 //   benches and examples use a Communicator and a mini-MPI World
 //   interchangeably.
 //
-// Construction allocates, per SMP node, the shared structures of §2.2/§2.4:
+// Descriptor dispatch: the public entry points live in coll::Collectives
+// (validated coll::Buf descriptors); the v_* hooks here route each call to
+// one of two planes —
+//  * real Bufs run the full protocols below over real shared segments and
+//    LAPI puts (first real op materializes the per-node state lazily);
+//  * symbolic Bufs run the shared sym::Transport cost skeleton with an SRM
+//    profile (the config's network chunk + LAPI-ish per-message overhead),
+//    allocating no per-rank payload memory — that is what makes 4096x64
+//    topologies routine.
+//
+// The first *real* operation allocates, per SMP node, the shared structures
+// of §2.2/§2.4:
 //  * the two broadcast buffers A/B with per-process READY flags (Fig. 3);
 //  * per-process reduce chunk slots with published/consumed counters (the
 //    pipelined form of Fig. 2);
@@ -27,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "coll/buf.hpp"
 #include "coll/iface.hpp"
 #include "coll/ops.hpp"
+#include "coll/symbolic.hpp"
 #include "coll/tree.hpp"
 #include "core/config.hpp"
 #include "lapi/lapi.hpp"
@@ -40,65 +53,84 @@ namespace srm {
 
 class Communicator final : public coll::Collectives {
  public:
-  /// Collective constructor-equivalent: builds all node-shared state before
-  /// the simulation starts. @p name namespaces the shared segments so
-  /// multiple communicators coexist.
+  /// Cheap to construct at any scale: per-node shared state materializes on
+  /// the first *real* operation (ensure_real_state). @p name namespaces the
+  /// shared segments so multiple communicators coexist.
   Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
                SrmConfig cfg = {}, std::string name = "srm0");
-
-  /// Broadcast @p bytes from @p root's @p buf into everyone's @p buf.
-  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
-                    int root) override;
-
-  /// Reduce element-wise with @p op; the result lands in @p recv at @p root
-  /// (ignored elsewhere). @p send and @p recv must not alias.
-  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t count, coll::Dtype d, coll::RedOp op,
-                     int root) override;
-
-  /// Reduce + make the result available everywhere.
-  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t count, coll::Dtype d,
-                        coll::RedOp op) override;
-
-  /// Synchronize all tasks (§2.2/§2.4 barrier).
-  sim::CoTask barrier(machine::TaskCtx& t) override;
-
-  // ---- Extension beyond the paper's four operations ----
-  //
-  // The paper targets "a common set of collective operations"; scatter,
-  // gather, allgather, and reduce_scatter complete that set using the same
-  // two building blocks: RMA puts straight into user buffers between node
-  // leaders, and shared-memory slice distribution/assembly inside nodes.
-
-  /// Scatter one @p bytes_per block per rank from @p send at @p root into
-  /// everyone's @p recv. The root leader puts each node's block into that
-  /// node's landing buffers; local tasks copy out their slice.
-  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
-                      std::size_t bytes_per, int root) override;
-
-  /// Gather @p bytes_per per rank into @p recv at @p root (rank order).
-  /// The root announces its receive buffer; node leaders assemble their
-  /// node block in shared staging and put it straight into place.
-  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t bytes_per, int root) override;
-
-  /// Allgather: every rank ends with all blocks (gather to 0 + broadcast).
-  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t bytes_per) override;
-
-  /// Reduce-scatter with equal blocks: element-wise reduce, then scatter of
-  /// the @p count_per_rank-element blocks.
-  sim::CoTask reduce_scatter(machine::TaskCtx& t, const void* send,
-                             void* recv, std::size_t count_per_rank,
-                             coll::Dtype d, coll::RedOp op) override;
 
   std::string label() const override { return "srm"; }
 
   const SrmConfig& config() const noexcept { return cfg_; }
   const std::string& name() const noexcept { return name_; }
 
+ protected:
+  // coll::Collectives hooks: descriptors are already validated; these only
+  // pick the plane. Real descriptors run the paper protocols (real_*);
+  // symbolic descriptors run sym::Transport with the SRM cost profile.
+  sim::CoTask v_bcast(machine::TaskCtx& t, coll::Buf buf, int root) override;
+  sim::CoTask v_reduce(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                       coll::RedOp op, int root) override;
+  sim::CoTask v_allreduce(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                          coll::RedOp op) override;
+  /// Barrier carries no payload, so the plane comes from history: real by
+  /// default (the paper's fetch-and-op protocol), symbolic once a symbolic
+  /// operation ran and no real op has materialized the shared state.
+  /// Collective calling order makes that choice uniform across ranks.
+  sim::CoTask v_barrier(machine::TaskCtx& t) override;
+  sim::CoTask v_scatter(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                        int root) override;
+  sim::CoTask v_gather(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                       int root) override;
+  sim::CoTask v_allgather(machine::TaskCtx& t, coll::Buf send,
+                          coll::Buf recv) override;
+  sim::CoTask v_reduce_scatter(machine::TaskCtx& t, coll::Buf send,
+                               coll::Buf recv, coll::RedOp op) override;
+
  private:
+  // ---- real plane (the paper's protocols, raw memory) ----
+  //
+  // Beyond the paper's four operations, scatter, gather, allgather, and
+  // reduce_scatter complete the common set using the same two building
+  // blocks: RMA puts straight into user buffers between node leaders, and
+  // shared-memory slice distribution/assembly inside nodes.
+
+  /// Broadcast @p bytes from @p root's @p buf into everyone's @p buf.
+  sim::CoTask real_bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
+                         int root);
+  /// Reduce element-wise with @p op; the result lands in @p recv at @p root
+  /// (ignored elsewhere). @p send and @p recv must not alias.
+  sim::CoTask real_reduce(machine::TaskCtx& t, const void* send, void* recv,
+                          std::size_t count, coll::Dtype d, coll::RedOp op,
+                          int root);
+  sim::CoTask real_allreduce(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t count, coll::Dtype d,
+                             coll::RedOp op);
+  /// Synchronize all tasks (§2.2/§2.4 barrier).
+  sim::CoTask real_barrier(machine::TaskCtx& t);
+  /// Scatter one @p bytes_per block per rank from @p send at @p root into
+  /// everyone's @p recv. The root leader puts each node's block into that
+  /// node's landing buffers; local tasks copy out their slice.
+  sim::CoTask real_scatter(machine::TaskCtx& t, const void* send, void* recv,
+                           std::size_t bytes_per, int root);
+  /// Gather @p bytes_per per rank into @p recv at @p root (rank order).
+  /// The root announces its receive buffer; node leaders assemble their
+  /// node block in shared staging and put it straight into place.
+  sim::CoTask real_gather(machine::TaskCtx& t, const void* send, void* recv,
+                          std::size_t bytes_per, int root);
+  /// Allgather: every rank ends with all blocks (gather to 0 + broadcast).
+  sim::CoTask real_allgather(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t bytes_per);
+  /// Reduce-scatter with equal blocks: element-wise reduce, then scatter of
+  /// the @p count_per_rank-element blocks.
+  sim::CoTask real_reduce_scatter(machine::TaskCtx& t, const void* send,
+                                  void* recv, std::size_t count_per_rank,
+                                  coll::Dtype d, coll::RedOp op);
+
+  /// Build the per-node shared structures and per-rank link parities on the
+  /// first real operation. Symbolic-only runs never pay this — it is
+  /// O(nodes^2) counters/buffers (per-link state on every node).
+  void ensure_real_state();
   // ---- per-node shared state (lives in the node's shm segment) ----
   struct NodeState {
     NodeState(sim::Engine& eng, const machine::MemoryParams& mp,
@@ -305,6 +337,9 @@ class Communicator final : public coll::Collectives {
   lapi::Fabric* fabric_;
   SrmConfig cfg_;
   std::string name_;
+  coll::sym::Transport sym_;       // symbolic plane (SRM cost profile)
+  bool real_ready_ = false;        // per-node shared state materialized?
+  bool sym_used_ = false;          // any symbolic op dispatched yet?
   std::vector<NodeState*> nodes_;  // owned by each node's segment
   std::vector<RankState> ranks_;
 };

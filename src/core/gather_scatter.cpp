@@ -25,15 +25,15 @@
 
 namespace srm {
 
-sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
-                                  void* recv, std::size_t bytes_per,
-                                  int root) {
-  SRM_CHECK(root >= 0 && root < t.nranks());
+sim::CoTask Communicator::real_scatter(machine::TaskCtx& t, const void* send,
+                                       void* recv, std::size_t bytes_per,
+                                       int root) {
+  // Root range / descriptor invariants are enforced at the API boundary
+  // (coll::Collectives); this plane only runs the protocol.
   obs::Span span(*t.obs, t.rank, "srm.scatter");
   chk::StageScope stage(t.chk, "srm.scatter");
   rank_state(t).op_seq++;
   if (bytes_per == 0) co_return;
-  SRM_CHECK(recv != nullptr);
 
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
@@ -131,15 +131,13 @@ sim::CoTask Communicator::scatter(machine::TaskCtx& t, const void* send,
   }
 }
 
-sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
-                                 void* recv, std::size_t bytes_per,
-                                 int root) {
-  SRM_CHECK(root >= 0 && root < t.nranks());
+sim::CoTask Communicator::real_gather(machine::TaskCtx& t, const void* send,
+                                      void* recv, std::size_t bytes_per,
+                                      int root) {
   obs::Span span(*t.obs, t.rank, "srm.gather");
   chk::StageScope stage(t.chk, "srm.gather");
   rank_state(t).op_seq++;
   if (bytes_per == 0) co_return;
-  SRM_CHECK(send != nullptr);
 
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
@@ -166,7 +164,6 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
 
   // Stage 0 (root): announce the receive buffer to every other leader.
   if (t.rank == root) {
-    SRM_CHECK(recv != nullptr);
     void* addr = recv;
     lapi::Counter org(*t.eng, "gather.addr_org@" + std::to_string(t.rank));
     std::uint64_t org_pending = 0;
@@ -266,27 +263,29 @@ sim::CoTask Communicator::gather(machine::TaskCtx& t, const void* send,
   rs.ga_seq += nchunks;
 }
 
-sim::CoTask Communicator::allgather(machine::TaskCtx& t, const void* send,
-                                    void* recv, std::size_t bytes_per) {
+sim::CoTask Communicator::real_allgather(machine::TaskCtx& t,
+                                         const void* send, void* recv,
+                                         std::size_t bytes_per) {
   obs::Span span(*t.obs, t.rank, "srm.allgather");
   chk::StageScope stage(t.chk, "srm.allgather");
-  co_await gather(t, send, recv, bytes_per, 0);
-  co_await bcast(t, recv, bytes_per * static_cast<std::size_t>(t.nranks()),
-                 0);
+  co_await real_gather(t, send, recv, bytes_per, 0);
+  co_await real_bcast(t, recv,
+                      bytes_per * static_cast<std::size_t>(t.nranks()), 0);
 }
 
-sim::CoTask Communicator::reduce_scatter(machine::TaskCtx& t,
-                                         const void* send, void* recv,
-                                         std::size_t count_per_rank,
-                                         coll::Dtype d, coll::RedOp op) {
+sim::CoTask Communicator::real_reduce_scatter(machine::TaskCtx& t,
+                                              const void* send, void* recv,
+                                              std::size_t count_per_rank,
+                                              coll::Dtype d, coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "srm.reduce_scatter");
   chk::StageScope stage(t.chk, "srm.reduce_scatter");
   std::size_t total = count_per_rank * static_cast<std::size_t>(t.nranks());
   std::vector<std::byte> tmp;
   if (t.rank == 0) tmp.resize(total * coll::dtype_size(d));
-  co_await reduce(t, send, t.rank == 0 ? tmp.data() : recv, total, d, op, 0);
-  co_await scatter(t, tmp.data(), recv,
-                   count_per_rank * coll::dtype_size(d), 0);
+  co_await real_reduce(t, send, t.rank == 0 ? tmp.data() : recv, total, d, op,
+                       0);
+  co_await real_scatter(t, tmp.data(), recv,
+                        count_per_rank * coll::dtype_size(d), 0);
 }
 
 }  // namespace srm

@@ -205,11 +205,7 @@ sim::CoTask Endpoint::get_cntr(Counter& c, std::uint64_t& out) {
 }
 
 Fabric::Fabric(machine::Cluster& cluster) : cluster_(&cluster) {
-  int n = cluster.topology().nranks();
-  eps_.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    eps_.push_back(std::make_unique<Endpoint>(cluster.ctx(r)));
-  }
+  eps_.resize(static_cast<std::size_t>(cluster.topology().nranks()));
 }
 
 }  // namespace srm::lapi

@@ -149,11 +149,17 @@ class Endpoint {
   sim::WaitQueue call_wq_;  // wakes pollers when new arrivals are processed
 };
 
-/// One endpoint per rank, owned together.
+/// One endpoint per rank, owned together. Endpoints materialize on first
+/// use: symbolic-transport runs never touch the network plane, and a
+/// mega-scale topology must not pay 256K eager endpoint constructions.
 class Fabric {
  public:
   explicit Fabric(machine::Cluster& cluster);
-  Endpoint& ep(int rank) { return *eps_.at(static_cast<std::size_t>(rank)); }
+  Endpoint& ep(int rank) {
+    auto& e = eps_.at(static_cast<std::size_t>(rank));
+    if (e == nullptr) e = std::make_unique<Endpoint>(cluster_->ctx(rank));
+    return *e;
+  }
   machine::Cluster& cluster() noexcept { return *cluster_; }
 
  private:

@@ -480,54 +480,95 @@ sim::CoTask Comm::reduce_scatter(const void* sendbuf, void* recvbuf,
 // "mpi.*" span.
 // ---------------------------------------------------------------------------
 
-sim::CoTask World::bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
-                         int root) {
+sim::CoTask World::v_bcast(machine::TaskCtx& t, coll::Buf buf, int root) {
   obs::Span span(*t.obs, t.rank, "mpi.bcast");
-  co_await comm(t.rank).bcast(buf, bytes, root);
+  if (buf.symbolic()) {
+    sym_used_ = true;
+    co_await sym_.bcast(t, buf, root);
+  } else {
+    co_await comm(t.rank).bcast(buf.data, buf.count * buf.esize(), root);
+  }
 }
 
-sim::CoTask World::reduce(machine::TaskCtx& t, const void* send, void* recv,
-                          std::size_t count, coll::Dtype d, coll::RedOp op,
-                          int root) {
+sim::CoTask World::v_reduce(machine::TaskCtx& t, coll::Buf send,
+                            coll::Buf recv, coll::RedOp op, int root) {
   obs::Span span(*t.obs, t.rank, "mpi.reduce");
-  co_await comm(t.rank).reduce(send, recv, count, d, op, root);
+  if (send.symbolic()) {
+    sym_used_ = true;
+    co_await sym_.reduce(t, send, recv, op, root);
+  } else {
+    co_await comm(t.rank).reduce(send.data, recv.data, send.count, send.dtype,
+                                 op, root);
+  }
 }
 
-sim::CoTask World::allreduce(machine::TaskCtx& t, const void* send,
-                             void* recv, std::size_t count, coll::Dtype d,
-                             coll::RedOp op) {
+sim::CoTask World::v_allreduce(machine::TaskCtx& t, coll::Buf send,
+                               coll::Buf recv, coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "mpi.allreduce");
-  co_await comm(t.rank).allreduce(send, recv, count, d, op);
+  if (send.symbolic()) {
+    sym_used_ = true;
+    co_await sym_.allreduce(t, send, recv, op);
+  } else {
+    co_await comm(t.rank).allreduce(send.data, recv.data, send.count,
+                                    send.dtype, op);
+  }
 }
 
-sim::CoTask World::barrier(machine::TaskCtx& t) {
+sim::CoTask World::v_barrier(machine::TaskCtx& t) {
   obs::Span span(*t.obs, t.rank, "mpi.barrier");
-  co_await comm(t.rank).barrier();
+  if (sym_used_ && !real_used_) {
+    co_await sym_.barrier(t);
+  } else {
+    co_await comm(t.rank).barrier();
+  }
 }
 
-sim::CoTask World::scatter(machine::TaskCtx& t, const void* send, void* recv,
-                           std::size_t bytes_per, int root) {
+sim::CoTask World::v_scatter(machine::TaskCtx& t, coll::Buf send,
+                             coll::Buf recv, int root) {
   obs::Span span(*t.obs, t.rank, "mpi.scatter");
-  co_await comm(t.rank).scatter(send, recv, bytes_per, root);
+  if (recv.symbolic()) {
+    sym_used_ = true;
+    co_await sym_.scatter(t, send, recv, root);
+  } else {
+    co_await comm(t.rank).scatter(send.data, recv.data,
+                                  recv.count * recv.esize(), root);
+  }
 }
 
-sim::CoTask World::gather(machine::TaskCtx& t, const void* send, void* recv,
-                          std::size_t bytes_per, int root) {
+sim::CoTask World::v_gather(machine::TaskCtx& t, coll::Buf send,
+                            coll::Buf recv, int root) {
   obs::Span span(*t.obs, t.rank, "mpi.gather");
-  co_await comm(t.rank).gather(send, recv, bytes_per, root);
+  if (send.symbolic()) {
+    sym_used_ = true;
+    co_await sym_.gather(t, send, recv, root);
+  } else {
+    co_await comm(t.rank).gather(send.data, recv.data,
+                                 send.count * send.esize(), root);
+  }
 }
 
-sim::CoTask World::allgather(machine::TaskCtx& t, const void* send,
-                             void* recv, std::size_t bytes_per) {
+sim::CoTask World::v_allgather(machine::TaskCtx& t, coll::Buf send,
+                               coll::Buf recv) {
   obs::Span span(*t.obs, t.rank, "mpi.allgather");
-  co_await comm(t.rank).allgather(send, recv, bytes_per);
+  if (send.symbolic()) {
+    sym_used_ = true;
+    co_await sym_.allgather(t, send, recv);
+  } else {
+    co_await comm(t.rank).allgather(send.data, recv.data,
+                                    send.count * send.esize());
+  }
 }
 
-sim::CoTask World::reduce_scatter(machine::TaskCtx& t, const void* send,
-                                  void* recv, std::size_t count_per_rank,
-                                  coll::Dtype d, coll::RedOp op) {
+sim::CoTask World::v_reduce_scatter(machine::TaskCtx& t, coll::Buf send,
+                                    coll::Buf recv, coll::RedOp op) {
   obs::Span span(*t.obs, t.rank, "mpi.reduce_scatter");
-  co_await comm(t.rank).reduce_scatter(send, recv, count_per_rank, d, op);
+  if (send.symbolic()) {
+    sym_used_ = true;
+    co_await sym_.reduce_scatter(t, send, recv, op);
+  } else {
+    co_await comm(t.rank).reduce_scatter(send.data, recv.data, recv.count,
+                                         recv.dtype, op);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -538,12 +579,16 @@ World::World(machine::Cluster& cluster, const machine::MpiParams& profile,
       profile_(profile),
       name_(std::move(name)),
       eager_limit_(machine::MachineParams::eager_limit(
-          profile, cluster.topology().nranks())) {
-  int n = cluster.topology().nranks();
-  comms_.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    comms_.push_back(std::make_unique<Comm>(*this, cluster.ctx(r)));
-  }
+          profile, cluster.topology().nranks())),
+      // Symbolic cost skeleton: every hop pays the MPI software stack
+      // (per-call + MPL/MPCI layering) as its per-message overhead; movement
+      // pipelines at the same default granularity the SRM plane uses.
+      sym_(cluster, coll::sym::Profile{
+                        profile.call_overhead + profile.layer_overhead,
+                        64 * 1024, coll::TreeKind::binomial}) {
+  // Comms materialize lazily via comm() — a symbolic mega-scale World must
+  // not pay per-rank point-to-point state for ranks that never message.
+  comms_.resize(static_cast<std::size_t>(cluster.topology().nranks()));
 }
 
 }  // namespace srm::minimpi

@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "coll/buf.hpp"
 #include "coll/iface.hpp"
 #include "coll/ops.hpp"
+#include "coll/symbolic.hpp"
 #include "machine/cluster.hpp"
 #include "sim/task.hpp"
 #include "sim/trigger.hpp"
@@ -135,46 +137,61 @@ class Comm {
 };
 
 /// One Comm per rank plus the shared profile. World is the mini-MPI's face
-/// of the shared Collectives interface: each operation forwards to the
-/// calling rank's Comm (and opens an "mpi.*" span on that rank's timeline),
-/// so benches drive SRM and MPI through the same virtual calls.
+/// of the shared Collectives interface: real descriptors forward to the
+/// calling rank's Comm (and open an "mpi.*" span on that rank's timeline);
+/// symbolic descriptors run the shared sym::Transport cost skeleton with an
+/// MPI profile (per-call + layering software overhead per message), so
+/// benches drive SRM and MPI through the same virtual calls in either mode.
+/// Comms materialize on first use — symbolic runs never build the per-rank
+/// point-to-point machinery.
 class World final : public coll::Collectives {
  public:
   World(machine::Cluster& cluster, const machine::MpiParams& profile,
         std::string name);
 
-  Comm& comm(int rank) { return *comms_.at(static_cast<std::size_t>(rank)); }
+  Comm& comm(int rank) {
+    auto& c = comms_.at(static_cast<std::size_t>(rank));
+    if (c == nullptr) {
+      c = std::make_unique<Comm>(*this, cluster_->ctx(rank));
+      real_used_ = true;
+    }
+    return *c;
+  }
   machine::Cluster& cluster() noexcept { return *cluster_; }
   const machine::MpiParams& profile() const noexcept { return profile_; }
   const std::string& name() const noexcept { return name_; }
   std::size_t eager_limit() const noexcept { return eager_limit_; }
 
-  // ---- coll::Collectives ----
-  sim::CoTask bcast(machine::TaskCtx& t, void* buf, std::size_t bytes,
-                    int root) override;
-  sim::CoTask reduce(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t count, coll::Dtype d, coll::RedOp op,
-                     int root) override;
-  sim::CoTask allreduce(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t count, coll::Dtype d,
-                        coll::RedOp op) override;
-  sim::CoTask barrier(machine::TaskCtx& t) override;
-  sim::CoTask scatter(machine::TaskCtx& t, const void* send, void* recv,
-                      std::size_t bytes_per, int root) override;
-  sim::CoTask gather(machine::TaskCtx& t, const void* send, void* recv,
-                     std::size_t bytes_per, int root) override;
-  sim::CoTask allgather(machine::TaskCtx& t, const void* send, void* recv,
-                        std::size_t bytes_per) override;
-  sim::CoTask reduce_scatter(machine::TaskCtx& t, const void* send,
-                             void* recv, std::size_t count_per_rank,
-                             coll::Dtype d, coll::RedOp op) override;
   std::string label() const override { return "mpi/" + name_; }
+
+ protected:
+  // ---- coll::Collectives hooks ----
+  sim::CoTask v_bcast(machine::TaskCtx& t, coll::Buf buf, int root) override;
+  sim::CoTask v_reduce(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                       coll::RedOp op, int root) override;
+  sim::CoTask v_allreduce(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                          coll::RedOp op) override;
+  /// No payload to dispatch on: symbolic until the first real operation (or
+  /// direct comm() use), real after — uniform across ranks under collective
+  /// calling order.
+  sim::CoTask v_barrier(machine::TaskCtx& t) override;
+  sim::CoTask v_scatter(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                        int root) override;
+  sim::CoTask v_gather(machine::TaskCtx& t, coll::Buf send, coll::Buf recv,
+                       int root) override;
+  sim::CoTask v_allgather(machine::TaskCtx& t, coll::Buf send,
+                          coll::Buf recv) override;
+  sim::CoTask v_reduce_scatter(machine::TaskCtx& t, coll::Buf send,
+                               coll::Buf recv, coll::RedOp op) override;
 
  private:
   machine::Cluster* cluster_;
   machine::MpiParams profile_;
   std::string name_;
   std::size_t eager_limit_;
+  coll::sym::Transport sym_;
+  bool real_used_ = false;  // any Comm materialized (real plane touched)?
+  bool sym_used_ = false;   // any symbolic op dispatched yet?
   std::vector<std::unique_ptr<Comm>> comms_;
 };
 

@@ -62,8 +62,7 @@ void Engine::reap_finished() {
 
 void Engine::run() {
   while (!queue_.empty()) {
-    Ev ev = queue_.top();
-    queue_.pop();
+    Ev ev = queue_.pop();
     if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;

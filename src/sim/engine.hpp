@@ -1,5 +1,10 @@
 // The discrete-event engine: a virtual clock and an ordered event queue.
 //
+// The pending-event set is an indexed calendar queue (sim/calendar.hpp):
+// amortized O(1) push/pop where a binary heap pays O(log n), which matters
+// once a 256K-rank collective keeps a pending event per rank. Coroutine
+// frames come from a recycling pool (sim/pool.hpp) for the same reason.
+//
 // Events are (time, tie-break, sequence) ordered. The default tie-break is
 // FIFO — two events at the same virtual time fire in the order they were
 // scheduled — which makes every simulation run bitwise deterministic. For
@@ -20,11 +25,11 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/calendar.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "util/check.hpp"
@@ -142,7 +147,7 @@ class Engine {
   std::uint64_t processed_ = 0;
   TieBreak tiebreak_ = TieBreak::fifo;
   util::SplitMix64 tie_rng_{0};
-  std::priority_queue<Ev, std::vector<Ev>, EvOrder> queue_;
+  CalendarQueue<Ev, EvOrder> queue_;
   std::unordered_set<EventId> cancelled_;
 
   // Blocked-info sources, reported in registration order. Declared before

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <utility>
 
+#include "sim/pool.hpp"
 #include "util/check.hpp"
 
 namespace srm::sim {
@@ -28,6 +30,14 @@ class [[nodiscard]] CoTask {
   using handle_t = std::coroutine_handle<promise_type>;
 
   struct promise_type {
+    // Frames come from the recycling FramePool: a simulation allocates
+    // millions of frames of a few distinct sizes, and the size-bucketed
+    // free lists make that O(1) without touching the system allocator.
+    static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      FramePool::deallocate(p, n);
+    }
+
     CoTask get_return_object() {
       return CoTask{handle_t::from_promise(*this)};
     }

@@ -40,8 +40,8 @@ Moves srm_reduce_moves(int p, std::size_t count) {
   std::vector<double> out(count, 0.0);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count, 1.0 * t.rank);
-    co_await comm.reduce(t, mine.data(), out.data(), count, coll::Dtype::f64,
-                         coll::RedOp::sum, 0);
+    co_await comm.reduce(t, coll::of(mine.data(), count),
+                         coll::of(out.data(), count), coll::RedOp::sum, 0);
   });
   return {cluster.obs().count("mem.copy"), cluster.obs().count("mem.combine")};
 }
@@ -106,7 +106,7 @@ TEST_F(CopyCounts, SmpBcastOneCopyInPlusOnePerConsumer) {
   Communicator comm(cluster, fabric);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<char> buf(1024, static_cast<char>(t.rank == 0));
-    co_await comm.bcast(t, buf.data(), buf.size(), 0);
+    co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
   });
   // Root copies into the shared buffer; 7 consumers copy out.
   EXPECT_EQ(cluster.obs().count("mem.copy"), 8u);
@@ -134,7 +134,7 @@ TEST_F(CopyCounts, NetworkBytesMatchProtocol) {
   Communicator comm(cluster, fabric);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<char> buf(1024, static_cast<char>(t.rank == 0));
-    co_await comm.bcast(t, buf.data(), buf.size(), 0);
+    co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
   });
   EXPECT_EQ(cluster.obs().count("lapi.put"), 3u);
   EXPECT_DOUBLE_EQ(cluster.obs().value("lapi.put"), 3 * 1024.0);
@@ -156,8 +156,8 @@ TEST_F(CopyCounts, PerNodeAttribution) {
   std::vector<double> out(64, 0.0);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(64, 1.0 * t.rank);
-    co_await comm.reduce(t, mine.data(), out.data(), 64, coll::Dtype::f64,
-                         coll::RedOp::sum, 0);
+    co_await comm.reduce(t, coll::of(mine.data(), 64),
+                         coll::of(out.data(), 64), coll::RedOp::sum, 0);
   });
   auto& reg = cluster.obs();
   std::uint64_t total = reg.count("mem.copy");

@@ -341,7 +341,7 @@ TEST(ObsIntegration, BroadcastLeavesSpansAndCounters) {
   cluster.obs().set_trace_enabled(true);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<char> buf(2048, static_cast<char>(t.rank == 0));
-    co_await comm.bcast(t, buf.data(), buf.size(), 0);
+    co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
   });
   const auto& spans = cluster.obs().spans();
   int dispatch_spans = 0;

@@ -42,15 +42,15 @@ TEST(Scale, AllOpsAt256Cpus) {
         buf[i] = static_cast<char>(i % 251);
       }
     }
-    co_await f.comm.bcast(t, buf.data(), buf.size(), 37);
+    co_await f.comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 37);
     for (std::size_t i = 0; i < buf.size(); i += 997) {
       EXPECT_EQ(buf[i], static_cast<char>(i % 251)) << "rank " << t.rank;
     }
 
     // Pipelined allreduce of 5000 doubles.
     std::vector<double> in(5000, 1.0 + t.rank % 4), out(5000, 0.0);
-    co_await f.comm.allreduce(t, in.data(), out.data(), 5000,
-                              coll::Dtype::f64, coll::RedOp::sum);
+    co_await f.comm.allreduce(t, coll::of(in.data(), 5000),
+                              coll::of(out.data(), 5000), coll::RedOp::sum);
     double expect = 0.0;
     for (int r = 0; r < n; ++r) expect += 1.0 + r % 4;
     EXPECT_DOUBLE_EQ(out[0], expect);
@@ -58,7 +58,7 @@ TEST(Scale, AllOpsAt256Cpus) {
 
     // Reduce (min) to the last rank.
     double mine = 1000.0 - t.rank, least = 0.0;
-    co_await f.comm.reduce(t, &mine, &least, 1, coll::Dtype::f64,
+    co_await f.comm.reduce(t, coll::of(&mine, 1), coll::of(&least, 1),
                            coll::RedOp::min, 255);
     if (t.rank == 255) {
       EXPECT_DOUBLE_EQ(least, 1000.0 - 255);
@@ -69,7 +69,7 @@ TEST(Scale, AllOpsAt256Cpus) {
     // Allgather one double per rank.
     double me = 2.0 * t.rank;
     std::vector<double> all(256, -1.0);
-    co_await f.comm.allgather(t, &me, all.data(), sizeof(double));
+    co_await f.comm.allgather(t, coll::of(&me, 1), coll::of(all.data(), 1));
     for (int r = 0; r < n; r += 17) {
       EXPECT_EQ(all[static_cast<std::size_t>(r)], 2.0 * r);
     }
@@ -83,8 +83,8 @@ TEST(Scale, FifteenTasksPerNodeDaemonShape) {
   int n = 120;
   f.cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> in(300, t.rank * 0.25), out(300, 0.0);
-    co_await f.comm.allreduce(t, in.data(), out.data(), 300,
-                              coll::Dtype::f64, coll::RedOp::sum);
+    co_await f.comm.allreduce(t, coll::of(in.data(), 300),
+                              coll::of(out.data(), 300), coll::RedOp::sum);
     EXPECT_DOUBLE_EQ(out[0], 0.25 * n * (n - 1) / 2.0);
     co_await f.comm.barrier(t);
   });
@@ -101,12 +101,12 @@ TEST(Scale, SustainedMixAt128Cpus) {
           b[i] = static_cast<char>(i % 127);
         }
       }
-      co_await f.comm.bcast(t, b.data(), b.size(), root);
+      co_await f.comm.bcast(t, coll::Buf::bytes(b.data(), b.size()), root);
       EXPECT_EQ(b[b.size() - 1],
                 static_cast<char>((b.size() - 1) % 127));
 
       double v = t.rank + round, s = 0.0;
-      co_await f.comm.allreduce(t, &v, &s, 1, coll::Dtype::f64,
+      co_await f.comm.allreduce(t, coll::of(&v, 1), coll::of(&s, 1),
                                 coll::RedOp::sum);
       EXPECT_DOUBLE_EQ(s, 128.0 * 127 / 2 + 128.0 * round);
     }
@@ -118,8 +118,8 @@ TEST(Scale, VirtualTimeIsDeterministicAt256) {
     Fixture f(16, 16);
     f.cluster.run([&](TaskCtx& t) -> CoTask {
       std::vector<double> in(100, 1.0), out(100, 0.0);
-      co_await f.comm.allreduce(t, in.data(), out.data(), 100,
-                                coll::Dtype::f64, coll::RedOp::sum);
+      co_await f.comm.allreduce(t, coll::of(in.data(), 100),
+                                coll::of(out.data(), 100), coll::RedOp::sum);
       co_await f.comm.barrier(t);
     });
     return std::pair{f.cluster.engine().now(),

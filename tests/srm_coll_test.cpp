@@ -57,7 +57,7 @@ TEST_P(SrmBcastSize, DeliversRootBytes) {
         buf[i] = static_cast<char>((i * 131 + 17) % 251);
       }
     }
-    co_await f.comm.bcast(t, buf.data(), bytes, root);
+    co_await f.comm.bcast(t, coll::Buf::bytes(buf.data(), bytes), root);
   });
   for (int r = 0; r < n; ++r) {
     ASSERT_EQ(bufs[static_cast<std::size_t>(r)], bufs[static_cast<std::size_t>(root)])
@@ -97,7 +97,7 @@ TEST(SrmBcast, EveryRootOnAsymmetricCluster) {
           buf[i] = static_cast<char>((i + static_cast<std::size_t>(root)) % 127);
         }
       }
-      co_await f.comm.bcast(t, buf.data(), bytes, root);
+      co_await f.comm.bcast(t, coll::Buf::bytes(buf.data(), bytes), root);
     });
     for (int r = 0; r < 15; ++r) {
       ASSERT_EQ(bufs[static_cast<std::size_t>(r)],
@@ -121,7 +121,7 @@ TEST(SrmBcast, BackToBackAlternatingRootsAndSizes) {
           buf[i] = static_cast<char>((i + k) % 101);
         }
       }
-      co_await f.comm.bcast(t, buf.data(), sizes[k], root);
+      co_await f.comm.bcast(t, coll::Buf::bytes(buf.data(), sizes[k]), root);
       for (std::size_t i = 0; i < sizes[k]; ++i) {
         EXPECT_EQ(buf[i], static_cast<char>((i + k) % 101))
             << "op " << k << " rank " << t.rank << " byte " << i;
@@ -133,7 +133,8 @@ TEST(SrmBcast, BackToBackAlternatingRootsAndSizes) {
 TEST(SrmBcast, ZeroBytesIsNoOp) {
   Fixture f(2, 2);
   f.cluster.run([&](TaskCtx& t) -> CoTask {
-    co_await f.comm.bcast(t, nullptr, 0, 0);
+    co_await f.comm.bcast(t, coll::Buf::bytes(static_cast<void*>(nullptr), 0),
+                          0);
   });
 }
 
@@ -153,8 +154,9 @@ TEST_P(SrmReduceSize, SumsDoublesAtRoot) {
   f.cluster.run([&, count = count, root](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count);
     for (std::size_t i = 0; i < count; ++i) mine[i] = contribution(t.rank, i);
-    co_await f.comm.reduce(t, mine.data(), result.data(), count,
-                           coll::Dtype::f64, coll::RedOp::sum, root);
+    co_await f.comm.reduce(t, coll::of(mine.data(), count),
+                           coll::of(result.data(), count), coll::RedOp::sum,
+                           root);
   });
   for (std::size_t i = 0; i < count; ++i) {
     double expect = 0.0;
@@ -186,13 +188,13 @@ TEST(SrmReduce, AllOpsAllDtypes) {
     {
       std::vector<std::int32_t> mine = {t.rank, -t.rank, 100 - t.rank};
       std::vector<std::int32_t> out(3, 0);
-      co_await f.comm.reduce(t, mine.data(), out.data(), 3, coll::Dtype::i32,
-                             coll::RedOp::max, 0);
+      co_await f.comm.reduce(t, coll::of(mine.data(), 3),
+                             coll::of(out.data(), 3), coll::RedOp::max, 0);
       if (t.rank == 0) {
         EXPECT_EQ(out, (std::vector<std::int32_t>{7, 0, 100}));
       }
-      co_await f.comm.reduce(t, mine.data(), out.data(), 3, coll::Dtype::i32,
-                             coll::RedOp::min, 0);
+      co_await f.comm.reduce(t, coll::of(mine.data(), 3),
+                             coll::of(out.data(), 3), coll::RedOp::min, 0);
       if (t.rank == 0) {
         EXPECT_EQ(out, (std::vector<std::int32_t>{0, -7, 93}));
       }
@@ -200,8 +202,8 @@ TEST(SrmReduce, AllOpsAllDtypes) {
     {
       std::vector<float> mine = {1.5f, 2.0f};
       std::vector<float> out(2, 0.f);
-      co_await f.comm.reduce(t, mine.data(), out.data(), 2, coll::Dtype::f32,
-                             coll::RedOp::sum, 3);
+      co_await f.comm.reduce(t, coll::of(mine.data(), 2),
+                             coll::of(out.data(), 2), coll::RedOp::sum, 3);
       if (t.rank == 3) {
         EXPECT_FLOAT_EQ(out[0], 12.0f);
         EXPECT_FLOAT_EQ(out[1], 16.0f);
@@ -210,8 +212,8 @@ TEST(SrmReduce, AllOpsAllDtypes) {
     {
       std::vector<std::int64_t> mine = {2};
       std::vector<std::int64_t> out(1, 0);
-      co_await f.comm.reduce(t, mine.data(), out.data(), 1, coll::Dtype::i64,
-                             coll::RedOp::prod, 5);
+      co_await f.comm.reduce(t, coll::of(mine.data(), 1),
+                             coll::of(out.data(), 1), coll::RedOp::prod, 5);
       if (t.rank == 5) {
         EXPECT_EQ(out[0], 256);
       }
@@ -227,8 +229,9 @@ TEST(SrmReduce, RepeatedWithChangingRoots) {
       std::size_t count = round % 2 == 0 ? 5000 : 17;
       std::vector<double> mine(count, t.rank + round * 0.5);
       std::vector<double> out(count, 0.0);
-      co_await f.comm.reduce(t, mine.data(), out.data(), count,
-                             coll::Dtype::f64, coll::RedOp::sum, root);
+      co_await f.comm.reduce(t, coll::of(mine.data(), count),
+                             coll::of(out.data(), count), coll::RedOp::sum,
+                             root);
       if (t.rank == root) {
         double expect = 36.0 + 9 * round * 0.5;  // sum over ranks
         for (std::size_t i = 0; i < count; ++i) {
@@ -256,8 +259,9 @@ TEST_P(SrmAllreduceSize, EveryoneGetsTheSum) {
     std::vector<double> mine(count);
     for (std::size_t i = 0; i < count; ++i) mine[i] = contribution(t.rank, i);
     co_await f.comm.allreduce(
-        t, mine.data(), results[static_cast<std::size_t>(t.rank)].data(),
-        count, coll::Dtype::f64, coll::RedOp::sum);
+        t, coll::of(mine.data(), count),
+        coll::of(results[static_cast<std::size_t>(t.rank)].data(), count),
+        coll::RedOp::sum);
   });
   for (std::size_t i = 0; i < count; ++i) {
     double expect = 0.0;
@@ -292,8 +296,9 @@ TEST(SrmAllreduce, BackToBackMixedProtocols) {
       std::size_t count = round % 2 == 0 ? 64 : 9000;  // RD then pipelined
       std::vector<double> mine(count, 1.0 + t.rank % 3);
       std::vector<double> out(count, 0.0);
-      co_await f.comm.allreduce(t, mine.data(), out.data(), count,
-                                coll::Dtype::f64, coll::RedOp::sum);
+      co_await f.comm.allreduce(t, coll::of(mine.data(), count),
+                                coll::of(out.data(), count),
+                                coll::RedOp::sum);
       double expect = 0.0;
       for (int r = 0; r < 12; ++r) expect += 1.0 + r % 3;
       for (std::size_t i = 0; i < count; ++i) {
@@ -310,8 +315,8 @@ TEST(SrmAllreduce, MinOverInts) {
   f.cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<std::int32_t> mine = {t.rank, 100 - t.rank, 7, -t.rank * 2};
     std::vector<std::int32_t> out(4, 0);
-    co_await f.comm.allreduce(t, mine.data(), out.data(), 4, coll::Dtype::i32,
-                              coll::RedOp::min);
+    co_await f.comm.allreduce(t, coll::of(mine.data(), 4),
+                              coll::of(out.data(), 4), coll::RedOp::min);
     EXPECT_EQ(out, (std::vector<std::int32_t>{0, 85, 7, -30}));
   });
 }
@@ -378,19 +383,19 @@ TEST(SrmMixed, InterleavedOperationSequence) {
       if (t.rank == 2) {
         for (std::size_t i = 0; i < v.size(); ++i) v[i] = double(i) + it;
       }
-      co_await f.comm.bcast(t, v.data(), v.size() * sizeof(double), 2);
+      co_await f.comm.bcast(t, coll::of(v.data(), v.size()), 2);
       EXPECT_DOUBLE_EQ(v[999], 999.0 + it);
 
       std::vector<double> sum(1000, 0.0);
-      co_await f.comm.allreduce(t, v.data(), sum.data(), 1000,
-                                coll::Dtype::f64, coll::RedOp::sum);
+      co_await f.comm.allreduce(t, coll::of(v.data(), 1000),
+                                coll::of(sum.data(), 1000), coll::RedOp::sum);
       EXPECT_DOUBLE_EQ(sum[10], 16 * (10.0 + it));
 
       co_await f.comm.barrier(t);
 
       std::vector<double> mx(1000, 0.0);
-      co_await f.comm.reduce(t, sum.data(), mx.data(), 1000, coll::Dtype::f64,
-                             coll::RedOp::max, 0);
+      co_await f.comm.reduce(t, coll::of(sum.data(), 1000),
+                             coll::of(mx.data(), 1000), coll::RedOp::max, 0);
       if (t.rank == 0) {
         EXPECT_DOUBLE_EQ(mx[10], 16 * (10.0 + it));
       }
@@ -408,8 +413,10 @@ TEST(SrmMixed, TwoCommunicatorsCoexist) {
   Communicator b(cluster, fabric, {}, "commB");
   cluster.run([&](TaskCtx& t) -> CoTask {
     double va = t.rank, vb = 10.0 * t.rank, sa = 0, sb = 0;
-    co_await a.allreduce(t, &va, &sa, 1, coll::Dtype::f64, coll::RedOp::sum);
-    co_await b.allreduce(t, &vb, &sb, 1, coll::Dtype::f64, coll::RedOp::sum);
+    co_await a.allreduce(t, coll::of(&va, 1), coll::of(&sa, 1),
+                         coll::RedOp::sum);
+    co_await b.allreduce(t, coll::of(&vb, 1), coll::of(&sb, 1),
+                         coll::RedOp::sum);
     EXPECT_DOUBLE_EQ(sa, 28.0);
     EXPECT_DOUBLE_EQ(sb, 280.0);
   });
@@ -430,7 +437,7 @@ TEST(SrmMixed, MastersOnlyTouchTheNetwork) {
   std::vector<char> buf(1024);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<char> mine(1024, static_cast<char>(t.rank));
-    co_await comm.bcast(t, mine.data(), 1024, 0);
+    co_await comm.bcast(t, coll::Buf::bytes(mine.data(), 1024), 0);
   });
   std::uint64_t used = cluster.network().messages() - before;
   // 3 data puts + 3 credit signals.
@@ -454,7 +461,7 @@ TEST(SrmMixed, SmallOpsAvoidInterrupts) {
     cluster.run([&](TaskCtx& t) -> CoTask {
       std::vector<char> buf(512, static_cast<char>(1));
       for (int i = 0; i < 8; ++i) {
-        co_await comm.bcast(t, buf.data(), buf.size(), 0);
+        co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
         co_await t.delay(sim::us(200));  // SMP-style busy phase between ops
       }
     });
@@ -474,8 +481,8 @@ TEST(SrmMixed, SingleTaskClusterDegenerates) {
   Fixture f(1, 1);
   f.cluster.run([&](TaskCtx& t) -> CoTask {
     double v = 42.0, s = 0.0;
-    co_await f.comm.bcast(t, &v, sizeof v, 0);
-    co_await f.comm.allreduce(t, &v, &s, 1, coll::Dtype::f64,
+    co_await f.comm.bcast(t, coll::of(&v, 1), 0);
+    co_await f.comm.allreduce(t, coll::of(&v, 1), coll::of(&s, 1),
                               coll::RedOp::sum);
     co_await f.comm.barrier(t);
     EXPECT_DOUBLE_EQ(s, 42.0);
@@ -487,8 +494,8 @@ TEST(SrmMixed, DeterministicTimings) {
     Fixture f(4, 8);
     f.cluster.run([&](TaskCtx& t) -> CoTask {
       std::vector<double> v(5000, t.rank * 1.0), s(5000, 0.0);
-      co_await f.comm.allreduce(t, v.data(), s.data(), 5000, coll::Dtype::f64,
-                                coll::RedOp::sum);
+      co_await f.comm.allreduce(t, coll::of(v.data(), 5000),
+                                coll::of(s.data(), 5000), coll::RedOp::sum);
       co_await f.comm.barrier(t);
     });
     return std::pair{f.cluster.engine().now(),

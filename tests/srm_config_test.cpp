@@ -39,15 +39,15 @@ void exercise(SrmConfig cfg, int nodes = 3, int ppn = 4) {
           buf[i] = static_cast<char>(i % 97);
         }
       }
-      co_await comm.bcast(t, buf.data(), bytes, root);
+      co_await comm.bcast(t, coll::Buf::bytes(buf.data(), bytes), root);
       for (std::size_t i = 0; i < bytes; ++i) {
         EXPECT_EQ(buf[i], static_cast<char>(i % 97)) << "bytes " << bytes;
       }
     }
     for (std::size_t count : {7ul, 5000ul}) {
       std::vector<double> in(count, 1.0 + t.rank), out(count, 0.0);
-      co_await comm.allreduce(t, in.data(), out.data(), count,
-                              coll::Dtype::f64, coll::RedOp::sum);
+      co_await comm.allreduce(t, coll::of(in.data(), count),
+                              coll::of(out.data(), count), coll::RedOp::sum);
       double expect = n + n * (n - 1) / 2.0;
       for (std::size_t i = 0; i < count; ++i) {
         EXPECT_DOUBLE_EQ(out[i], expect) << "count " << count;
@@ -160,7 +160,7 @@ TEST(SrmApi, InvalidRootThrows) {
   Communicator comm(cluster, fabric);
   char buf[8] = {};
   EXPECT_THROW(cluster.run([&](TaskCtx& t) -> CoTask {
-    co_await comm.bcast(t, buf, sizeof buf, 5);
+    co_await comm.bcast(t, coll::Buf::bytes(buf, sizeof buf), 5);
   }),
                util::CheckError);
 }
@@ -171,7 +171,8 @@ TEST(SrmApi, AliasedReduceBuffersThrow) {
   Communicator comm(cluster, fabric);
   double x[4] = {};
   EXPECT_THROW(cluster.run([&](TaskCtx& t) -> CoTask {
-    co_await comm.reduce(t, x, x, 4, coll::Dtype::f64, coll::RedOp::sum, 0);
+    co_await comm.reduce(t, coll::of(x, 4), coll::of(x, 4), coll::RedOp::sum,
+                         0);
   }),
                util::CheckError);
 }
@@ -188,7 +189,7 @@ TEST(SrmConfig, SingleBufferIsSlowerForPipelinedSizes) {
     cluster.run([&](TaskCtx& t) -> CoTask {
       std::vector<char> buf(24 * 1024, static_cast<char>(t.rank == 0));
       for (int i = 0; i < 3; ++i) {
-        co_await comm.bcast(t, buf.data(), buf.size(), 0);
+        co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
       }
     });
     return cluster.engine().now();

@@ -85,7 +85,8 @@ void run_fuzz(std::uint64_t seed, int nodes, int ppn, int nops) {
                                          113);
             }
           }
-          co_await comm.bcast(t, buf.data(), op.count, op.root);
+          co_await comm.bcast(t, coll::Buf::bytes(buf.data(), op.count),
+                              op.root);
           for (std::size_t i = 0; i < op.count; i += 97) {
             EXPECT_EQ(buf[i],
                       static_cast<char>((i + static_cast<std::size_t>(k)) %
@@ -101,12 +102,13 @@ void run_fuzz(std::uint64_t seed, int nodes, int ppn, int nops) {
             in[i] = value(t.rank, k, i);
           }
           if (op.kind == OpPlan::reduce) {
-            co_await comm.reduce(t, in.data(), out.data(), op.count,
-                                 coll::Dtype::f64, coll::RedOp::sum,
-                                 op.root);
+            co_await comm.reduce(t, coll::of(in.data(), op.count),
+                                 coll::of(out.data(), op.count),
+                                 coll::RedOp::sum, op.root);
           } else {
-            co_await comm.allreduce(t, in.data(), out.data(), op.count,
-                                    coll::Dtype::f64, coll::RedOp::sum);
+            co_await comm.allreduce(t, coll::of(in.data(), op.count),
+                                    coll::of(out.data(), op.count),
+                                    coll::RedOp::sum);
           }
           if (op.kind == OpPlan::allreduce || t.rank == op.root) {
             for (std::size_t i = 0; i < op.count; i += 61) {
@@ -133,8 +135,8 @@ void run_fuzz(std::uint64_t seed, int nodes, int ppn, int nops) {
             }
           }
           std::vector<double> recv(op.count, -1.0);
-          co_await comm.scatter(t, send.data(), recv.data(),
-                                op.count * sizeof(double), op.root);
+          co_await comm.scatter(t, coll::of(send.data(), op.count),
+                                coll::of(recv.data(), op.count), op.root);
           for (std::size_t i = 0; i < op.count; i += 37) {
             EXPECT_EQ(recv[i], value(t.rank, k, i))
                 << "op " << k << " rank " << t.rank;
@@ -153,11 +155,11 @@ void run_fuzz(std::uint64_t seed, int nodes, int ppn, int nops) {
             all.assign(op.count * static_cast<std::size_t>(n), -1.0);
           }
           if (op.kind == OpPlan::gather) {
-            co_await comm.gather(t, mine.data(), all.data(),
-                                 op.count * sizeof(double), op.root);
+            co_await comm.gather(t, coll::of(mine.data(), op.count),
+                                 coll::of(all.data(), op.count), op.root);
           } else {
-            co_await comm.allgather(t, mine.data(), all.data(),
-                                    op.count * sizeof(double));
+            co_await comm.allgather(t, coll::of(mine.data(), op.count),
+                                    coll::of(all.data(), op.count));
           }
           if (holder) {
             for (int r = 0; r < n; r += 3) {

@@ -56,8 +56,8 @@ TEST_P(GatherScatterShapes, ScatterDeliversEachBlock) {
       }
     }
     std::vector<double> recv(count, -1.0);
-    co_await f.comm.scatter(t, send.data(), recv.data(),
-                            count * sizeof(double), root);
+    co_await f.comm.scatter(t, coll::of(send.data(), count),
+                            coll::of(recv.data(), count), root);
     got[static_cast<std::size_t>(t.rank)] = recv;
   });
   for (int r = 0; r < n; ++r) {
@@ -77,9 +77,9 @@ TEST_P(GatherScatterShapes, GatherAssemblesRankOrder) {
   f.cluster.run([&, count = count, root](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count);
     for (std::size_t i = 0; i < count; ++i) mine[i] = element(t.rank, i);
-    co_await f.comm.gather(t, mine.data(),
-                           t.rank == root ? out.data() : nullptr,
-                           count * sizeof(double), root);
+    co_await f.comm.gather(
+        t, coll::of(mine.data(), count),
+        coll::of(t.rank == root ? out.data() : nullptr, count), root);
   });
   for (int r = 0; r < n; ++r) {
     for (std::size_t i = 0; i < count; ++i) {
@@ -99,8 +99,8 @@ TEST_P(GatherScatterShapes, AllgatherEveryoneHasEverything) {
     for (std::size_t i = 0; i < count; ++i) mine[i] = element(t.rank, i);
     std::vector<double> all(count * static_cast<std::size_t>(t.nranks()),
                             -1.0);
-    co_await f.comm.allgather(t, mine.data(), all.data(),
-                              count * sizeof(double));
+    co_await f.comm.allgather(t, coll::of(mine.data(), count),
+                              coll::of(all.data(), count));
     got[static_cast<std::size_t>(t.rank)] = std::move(all);
   });
   for (int holder = 0; holder < n; ++holder) {
@@ -141,8 +141,9 @@ TEST(SrmReduceScatter, SumsAndSplits) {
       mine[i] = t.rank + static_cast<double>(i);
     }
     std::vector<double> out(per, -1.0);
-    co_await f.comm.reduce_scatter(t, mine.data(), out.data(), per,
-                                   coll::Dtype::f64, coll::RedOp::sum);
+    co_await f.comm.reduce_scatter(t, coll::of(mine.data(), per),
+                                   coll::of(out.data(), per),
+                                   coll::RedOp::sum);
     got[static_cast<std::size_t>(t.rank)] = out;
   });
   double rank_sum = n * (n - 1) / 2.0;
@@ -172,11 +173,11 @@ TEST(SrmGatherScatter, BackToBackMixedRootsAndSizes) {
       if (t.rank == root) {
         all.resize(count * static_cast<std::size_t>(n));
       }
-      co_await f.comm.gather(t, mine.data(), all.data(),
-                             count * sizeof(double), root);
+      co_await f.comm.gather(t, coll::of(mine.data(), count),
+                             coll::of(all.data(), count), root);
       std::vector<double> back(count, -1.0);
-      co_await f.comm.scatter(t, all.data(), back.data(),
-                              count * sizeof(double), root);
+      co_await f.comm.scatter(t, coll::of(all.data(), count),
+                              coll::of(back.data(), count), root);
       for (std::size_t i = 0; i < count; i += 11) {
         EXPECT_EQ(back[i], mine[i]) << "round " << round << " rank "
                                     << t.rank;
@@ -190,11 +191,11 @@ TEST(SrmGatherScatter, InterleavedWithOtherCollectives) {
   f.cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(64, 1.0 * t.rank);
     std::vector<double> all(64 * 16, 0.0);
-    co_await f.comm.allgather(t, mine.data(), all.data(),
-                              64 * sizeof(double));
+    co_await f.comm.allgather(t, coll::of(mine.data(), 64),
+                              coll::of(all.data(), 64));
     double s = 0.0, total = 0.0;
     for (double v : all) s += v;
-    co_await f.comm.allreduce(t, &s, &total, 1, coll::Dtype::f64,
+    co_await f.comm.allreduce(t, coll::of(&s, 1), coll::of(&total, 1),
                               coll::RedOp::max);
     EXPECT_DOUBLE_EQ(total, 64.0 * (15 * 16 / 2));
     co_await f.comm.barrier(t);

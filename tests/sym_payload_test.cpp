@@ -1,0 +1,279 @@
+// Symbolic-payload units: Payload digest semantics (pattern fill vs real
+// digest, copy/combine block algebra, live-byte accounting), the coll::Buf
+// descriptor helpers, and the API-boundary validation that replaced the
+// backend-internal asserts — violations must fire at the call site for both
+// planes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/communicator.hpp"
+#include "util/check.hpp"
+
+namespace srm {
+namespace {
+
+using coll::Buf;
+using coll::Dtype;
+using coll::Payload;
+using machine::Cluster;
+using machine::ClusterConfig;
+using machine::TaskCtx;
+using sim::CoTask;
+
+// ---------------------------------------------------------------------------
+// Payload digest algebra
+// ---------------------------------------------------------------------------
+
+TEST(Payload, FillPatternMatchesRealDigest) {
+  // The symbolic fill and the real-buffer fill must model the same bytes:
+  // digesting a real pattern image reproduces the symbolic digest exactly.
+  const std::size_t blocks = 3, elems = 50;
+  Payload sym(blocks, elems * sizeof(double));
+  sym.fill_pattern(Dtype::f64, 42);
+
+  std::vector<double> real(blocks * elems);
+  coll::fill_pattern(real.data(), Dtype::f64, blocks, elems, 42);
+  Payload dig = Payload::digest_of(real.data(), Dtype::f64, blocks, elems);
+  EXPECT_TRUE(sym.identical_to(dig));
+
+  // A different seed or a shifted global block index is a different image.
+  Payload other(blocks, elems * sizeof(double));
+  other.fill_pattern(Dtype::f64, 43);
+  EXPECT_FALSE(sym.identical_to(other));
+  other.fill_pattern(Dtype::f64, 42, /*first_global=*/1);
+  EXPECT_FALSE(sym.identical_to(other));
+}
+
+TEST(Payload, SubWindowBlocksCarryWholeImage) {
+  // Blocks smaller than the 64-byte window: win_len clips and the checksum
+  // still covers the full (tiny) image.
+  const std::size_t elems = 3;  // 24 bytes < kWindow
+  Payload sym(2, elems * sizeof(double));
+  sym.fill_pattern(Dtype::f64, 9);
+  EXPECT_EQ(sym.win_len(), elems * sizeof(double));
+
+  std::vector<double> real(2 * elems);
+  coll::fill_pattern(real.data(), Dtype::f64, 2, elems, 9);
+  EXPECT_TRUE(
+      sym.identical_to(Payload::digest_of(real.data(), Dtype::f64, 2, elems)));
+}
+
+TEST(Payload, CopyBlocksMovesDigestsExactly) {
+  const std::size_t bb = 100;
+  Payload src(4, bb);
+  src.fill_pattern(Dtype::kByte, 5);
+  Payload dst(4, bb);
+  dst.copy_blocks(src, 1, 0, 2);  // dst[0,1] = src[1,2]
+  EXPECT_EQ(dst.block(0).sum, src.block(1).sum);
+  EXPECT_EQ(dst.block(1).sum, src.block(2).sum);
+  EXPECT_EQ(dst.block(0).win, src.block(1).win);
+  EXPECT_NE(dst.block(2).sum, src.block(2).sum);  // untouched
+}
+
+TEST(Payload, CombineBlocksMatchesRealCombine) {
+  // Element-exact window combine: op over symbolic windows must equal the
+  // digest of op over the real images (small-integer patterns make every
+  // operator association-order exact).
+  const std::size_t elems = 40;
+  for (coll::RedOp op : {coll::RedOp::sum, coll::RedOp::prod,
+                         coll::RedOp::min, coll::RedOp::max}) {
+    Payload a(1, elems * sizeof(double)), b(1, elems * sizeof(double));
+    a.fill_pattern(Dtype::f64, 1);
+    b.fill_pattern(Dtype::f64, 2);
+    a.combine_blocks(b, 0, 0, 1, Dtype::f64, op);
+
+    std::vector<double> ra(elems), rb(elems);
+    coll::fill_pattern(ra.data(), Dtype::f64, 1, elems, 1);
+    coll::fill_pattern(rb.data(), Dtype::f64, 1, elems, 2);
+    coll::combine(op, Dtype::f64, ra.data(), rb.data(), elems);
+    Payload dig = Payload::digest_of(ra.data(), Dtype::f64, 1, elems);
+    EXPECT_TRUE(a.windows_equal(dig, Dtype::f64))
+        << "op " << static_cast<int>(op);
+  }
+}
+
+TEST(Payload, CombineChecksumMixIsCommutative) {
+  // The checksum of a combined block is order-independent, so symbolic
+  // reductions are deterministic under any tree/association order.
+  const std::size_t elems = 16;
+  auto mk = [&](std::uint64_t seed) {
+    Payload p(1, elems * sizeof(double));
+    p.fill_pattern(Dtype::f64, seed);
+    return p;
+  };
+  Payload ab = mk(1), ba = mk(2);
+  ab.combine_blocks(mk(2), 0, 0, 1, Dtype::f64, coll::RedOp::sum);
+  ba.combine_blocks(mk(1), 0, 0, 1, Dtype::f64, coll::RedOp::sum);
+  EXPECT_TRUE(ab.identical_to(ba));
+}
+
+TEST(Payload, LiveBytesTracksDigestFootprint) {
+  std::uint64_t base = Payload::live_bytes();
+  {
+    Payload big(1000, 1u << 20);  // models a gigabyte, allocates digests only
+    std::uint64_t grew = Payload::live_bytes() - base;
+    EXPECT_GE(grew, 1000 * sizeof(Payload::Block));
+    EXPECT_LT(grew, 1000 * sizeof(Payload::Block) + 4096);
+    Payload moved = std::move(big);
+    EXPECT_EQ(Payload::live_bytes() - base, grew);  // move does not double
+    Payload copy = moved;
+    EXPECT_EQ(Payload::live_bytes() - base, 2 * grew);
+  }
+  EXPECT_EQ(Payload::live_bytes(), base);
+}
+
+// ---------------------------------------------------------------------------
+// Buf descriptor helpers
+// ---------------------------------------------------------------------------
+
+TEST(BufDesc, FactoriesAndBlockAddressing) {
+  std::vector<double> v(12);
+  Buf b = coll::of(v.data(), 4);
+  EXPECT_EQ(b.dtype, Dtype::f64);
+  EXPECT_EQ(b.count, 4u);
+  EXPECT_EQ(b.block_bytes(), 32u);
+  EXPECT_FALSE(b.symbolic());
+  EXPECT_EQ(b.block(0), v.data());
+  EXPECT_EQ(b.block(2), v.data() + 8);  // rank 2's 4-element block
+
+  Buf raw = Buf::bytes(v.data(), 96);
+  EXPECT_EQ(raw.dtype, Dtype::kByte);
+  EXPECT_EQ(raw.esize(), 1u);
+
+  Payload pay(6, 32);
+  Buf s = Buf::symbolic(pay, Dtype::f64, 4, /*block0=*/2);
+  EXPECT_TRUE(s.symbolic());
+  EXPECT_EQ(s.block_index(0), 2u);
+  EXPECT_EQ(s.block_index(3), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// API-boundary validation (satellite: asserts live at the Collectives entry
+// points, not inside protocol code, and fire at the call site)
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  Fixture() : cluster(shape()), fabric(cluster), comm(cluster, fabric) {}
+  static ClusterConfig shape() {
+    ClusterConfig c;
+    c.nodes = 2;
+    c.tasks_per_node = 2;
+    return c;
+  }
+  Cluster cluster;
+  lapi::Fabric fabric;
+  Communicator comm;
+};
+
+template <typename Body>
+void expect_rejected(Fixture& f, Body body) {
+  EXPECT_THROW(
+      f.cluster.run([&](TaskCtx& t) -> CoTask { co_await body(t); }),
+      util::CheckError);
+}
+
+TEST(BufValidation, RealAndSymbolicAtOnceRejected) {
+  Fixture f;
+  std::vector<char> mem(64);
+  Payload pay(1, 64);
+  expect_rejected(f, [&](TaskCtx& t) {
+    Buf both = Buf::bytes(mem.data(), 64);
+    both.pay = &pay;  // illegal hybrid
+    return f.comm.bcast(t, both, 0);
+  });
+}
+
+TEST(BufValidation, PayloadBlockSizeMismatchRejected) {
+  Fixture f;
+  Payload pay(1, 64);
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.bcast(t, Buf::symbolic(pay, Dtype::kByte, 128), 0);
+  });
+}
+
+TEST(BufValidation, PayloadSpanTooShortRejected) {
+  Fixture f;
+  Payload send(2, 64);  // scatter at root needs nranks = 4 blocks
+  Payload recv(1, 64);
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.scatter(t, Buf::symbolic(send, Dtype::kByte, 64),
+                          Buf::symbolic(recv, Dtype::kByte, 64), 0);
+  });
+}
+
+TEST(BufValidation, NullRealDataRejected) {
+  Fixture f;
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.bcast(t, Buf::bytes(static_cast<void*>(nullptr), 64), 0);
+  });
+}
+
+TEST(BufValidation, DtypeMismatchRejected) {
+  Fixture f;
+  std::vector<double> in(8);
+  std::vector<float> out(8);
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.allreduce(t, coll::of(in.data(), 8), coll::of(out.data(), 8),
+                            coll::RedOp::sum);
+  });
+}
+
+TEST(BufValidation, BlockCountMismatchRejected) {
+  Fixture f;
+  std::vector<double> in(8), out(8);
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.allreduce(t, coll::of(in.data(), 8), coll::of(out.data(), 4),
+                            coll::RedOp::sum);
+  });
+}
+
+TEST(BufValidation, MixedPlanePairRejected) {
+  Fixture f;
+  std::vector<double> in(8);
+  Payload out(1, 64);
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.allreduce(t, coll::of(in.data(), 8),
+                            Buf::symbolic(out, Dtype::f64, 8),
+                            coll::RedOp::sum);
+  });
+}
+
+TEST(BufValidation, ByteReductionRejected) {
+  Fixture f;
+  std::vector<char> in(8), out(8);
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.allreduce(t, Buf::bytes(in.data(), 8),
+                            Buf::bytes(out.data(), 8), coll::RedOp::sum);
+  });
+}
+
+TEST(BufValidation, RootRangeStillChecked) {
+  Fixture f;
+  std::vector<char> mem(8);
+  expect_rejected(f, [&](TaskCtx& t) {
+    return f.comm.bcast(t, Buf::bytes(mem.data(), 8), 4);
+  });
+}
+
+TEST(BufValidation, NonRootSidesNotValidated) {
+  // The root-significant side is only checked at the root: non-root ranks
+  // may pass empty descriptors for scatter's send / gather's recv.
+  Fixture f;
+  std::size_t per = 16;
+  f.cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<double> send;
+    if (t.rank == 0) {
+      send.resize(per * static_cast<std::size_t>(t.nranks()), 1.0);
+    }
+    std::vector<double> recv(per, 0.0);
+    co_await f.comm.scatter(t, coll::of(send.data(), per),
+                            coll::of(recv.data(), per), 0);
+    co_await f.comm.gather(t, coll::of(recv.data(), per),
+                           coll::of(send.data(), per), 0);
+  });
+}
+
+}  // namespace
+}  // namespace srm
