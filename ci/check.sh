@@ -6,9 +6,15 @@
 #
 # Stages:
 #   1. default     — release-ish build with SRM_CHK=ON + SRM_MC=ON, full ctest
-#   1b. perf       — micro_engine + fig06_bcast vs the checked-in BENCH_*.json
-#                    baselines at the repo root (ci/perf_gate.py, >15% fails);
-#                    also runnable alone via `ci/check.sh perf`
+#   1b. perf       — micro_engine + fig06_bcast + fig07_reduce vs the
+#                    checked-in BENCH_*.json baselines at the repo root
+#                    (ci/perf_gate.py, >15% fails); also runnable alone via
+#                    `ci/check.sh perf`
+#   1c. sv         — collective-matching verifier: the seeded-mismatch
+#                    mutation gauntlet, then every example + fig12_barrier
+#                    re-run under SRM_SV_SELFCHECK=1 so the recorded traces
+#                    are checked against the declared comm skeletons; also
+#                    runnable alone via `ci/check.sh sv`
 #   2. sanitize    — ASan+UBSan build, full ctest
 #   3. chk-off     — SRM_CHK=OFF build (checker compiled out), full ctest
 #   4. tidy        — clang-tidy over src/ with warnings-as-errors (enforced
@@ -52,10 +58,35 @@ run_perf_gate() {
     --benchmark_min_time=0.05 > "$dir/bench/micro_engine.json" 2>/dev/null
   python3 ci/perf_gate.py BENCH_micro_engine.json \
     "$dir/bench/micro_engine.json" --tol "${SRM_PERF_TOL:-0.15}"
-  # fig06_bcast: deterministic virtual metrics from the instrumented run.
+  # fig06_bcast / fig07_reduce: deterministic virtual metrics from the
+  # instrumented runs.
   (cd "$dir/bench" && ./fig06_bcast >/dev/null)
   python3 ci/perf_gate.py BENCH_fig06_bcast.json \
     "$dir/bench/BENCH_fig06_bcast.json" --tol "${SRM_PERF_TOL:-0.15}"
+  cmake --build "$dir" -j "$JOBS" --target fig07_reduce >/dev/null
+  (cd "$dir/bench" && ./fig07_reduce >/dev/null)
+  python3 ci/perf_gate.py BENCH_fig07_reduce.json \
+    "$dir/bench/BENCH_fig07_reduce.json" --tol "${SRM_PERF_TOL:-0.15}"
+}
+
+run_sv() {
+  local dir="build-ci/default"
+  echo "=== [sv] collective-matching verifier: gauntlet + programs ==="
+  cmake -B "$dir" -S . -DSRM_CHK=ON -DSRM_MC=ON >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target sv_verify quickstart power_method \
+    jacobi_heat global_stats image_pipeline fig12_barrier >/dev/null
+  "$dir/src/sv_verify" gauntlet
+  # Run from inside the build tree: the bench program writes its stats JSON
+  # into the working directory.
+  local abs
+  abs="$(pwd)/$dir"
+  (cd "$dir/bench" && "$abs/src/sv_verify" programs \
+    "$abs/examples/quickstart" \
+    "$abs/examples/power_method" \
+    "$abs/examples/jacobi_heat" \
+    "$abs/examples/global_stats" \
+    "$abs/examples/image_pipeline" \
+    "$abs/bench/fig12_barrier")
 }
 
 if [[ "$MODE" == "perf" ]]; then
@@ -64,8 +95,15 @@ if [[ "$MODE" == "perf" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "sv" ]]; then
+  run_sv
+  echo "=== sv stage passed ==="
+  exit 0
+fi
+
 run_stage default -DSRM_CHK=ON -DSRM_MC=ON
 run_perf_gate
+run_sv
 
 if [[ "$MODE" != "fast" ]]; then
   run_stage sanitize -DSRM_CHK=ON -DSRM_SANITIZE=address,undefined

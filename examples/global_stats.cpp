@@ -7,12 +7,31 @@
 #include <vector>
 
 #include "core/communicator.hpp"
+#include "sv/sv.hpp"
 #include "util/rng.hpp"
 
 using srm::machine::Cluster;
 using srm::machine::ClusterConfig;
 using srm::machine::TaskCtx;
 using srm::sim::CoTask;
+
+namespace {
+
+// Declared collective skeleton: three scalar reduces (min/max/sum), the
+// bucket-edge broadcast (65 doubles), the int64 histogram reduce, and the
+// closing barrier — a straight-line sequence on every rank.
+srm::sv::Skeleton sv_skeleton() {
+  using namespace srm::sv;
+  return {"global_stats",
+          seq(call(real(sig_reduce(Dtype::f64, 1, RedOp::min, 0))),
+              call(real(sig_reduce(Dtype::f64, 1, RedOp::max, 0))),
+              call(real(sig_reduce(Dtype::f64, 1, RedOp::sum, 0))),
+              call(real(sig_bcast(Dtype::f64, 65, 0))),
+              call(real(sig_reduce(Dtype::i64, 64, RedOp::sum, 0))),
+              call(sig_barrier()))};
+}
+
+}  // namespace
 
 int main() {
   ClusterConfig cfg;
@@ -21,6 +40,7 @@ int main() {
   Cluster cluster(cfg);
   srm::lapi::Fabric fabric(cluster);
   srm::Communicator comm(cluster, fabric);
+  srm::sv::SelfCheck sv(comm, sv_skeleton());
 
   constexpr int kSamplesPerRank = 50000;
   constexpr int kBuckets = 64;
@@ -87,6 +107,7 @@ int main() {
     }
   });
 
+  if (int rc = sv.finish(); rc != 0) return rc;
   std::int64_t total = 0;
   for (auto c : histogram) total += c;
   if (total != static_cast<std::int64_t>(kSamplesPerRank) * 64) {

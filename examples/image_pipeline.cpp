@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/communicator.hpp"
+#include "sv/sv.hpp"
 #include "util/rng.hpp"
 
 using srm::machine::Cluster;
@@ -19,6 +20,19 @@ namespace {
 constexpr int kWidth = 512;
 constexpr int kRowsPerRank = 16;
 constexpr int kFrames = 4;
+
+// Declared collective skeleton: kFrames rounds of scatter / max-allreduce /
+// gather over one row block (16 rows x 512 px of f32) per rank.
+srm::sv::Skeleton sv_skeleton() {
+  using namespace srm::sv;
+  constexpr std::size_t kBlock =
+      static_cast<std::size_t>(kRowsPerRank) * kWidth;
+  return {"image_pipeline",
+          loop(kFrames,
+               seq(call(real(sig_scatter(Dtype::f32, kBlock, 0))),
+                   call(real(sig_allreduce(Dtype::f32, 1, RedOp::max))),
+                   call(real(sig_gather(Dtype::f32, kBlock, 0)))))};
+}
 }  // namespace
 
 int main() {
@@ -28,6 +42,7 @@ int main() {
   Cluster cluster(cfg);
   srm::lapi::Fabric fabric(cluster);
   srm::Communicator comm(cluster, fabric);
+  srm::sv::SelfCheck sv(comm, sv_skeleton());
 
   int nranks = cfg.nodes * cfg.tasks_per_node;
   std::size_t block = static_cast<std::size_t>(kRowsPerRank) * kWidth;
@@ -82,6 +97,7 @@ int main() {
     }
   });
 
+  if (int rc = sv.finish(); rc != 0) return rc;
   // Normalized means must be in (0, 1] and grow with the frame offset.
   if (checksum <= 0.0 || checksum > static_cast<double>(kFrames)) {
     std::fprintf(stderr, "bad checksum %f\n", checksum);

@@ -8,11 +8,29 @@
 
 #include "core/communicator.hpp"
 #include "mpi/comm.hpp"
+#include "sv/sv.hpp"
 
 using srm::machine::Cluster;
 using srm::machine::ClusterConfig;
 using srm::machine::TaskCtx;
 using srm::sim::CoTask;
+
+namespace {
+
+// Declared collective skeleton: the halo exchange is point-to-point (not at
+// the Collectives boundary); the collective structure is the residual
+// allreduce — repeated a data-dependent but rank-uniform number of times
+// (every rank sees the same global residual) — and the final barrier.
+srm::sv::Skeleton sv_skeleton() {
+  using namespace srm::sv;
+  return {"jacobi_heat",
+          seq(loop_uniform("until global residual converges",
+                           call(real(sig_allreduce(Dtype::f64, 1,
+                                                   RedOp::sum)))),
+              call(sig_barrier()))};
+}
+
+}  // namespace
 
 int main() {
   ClusterConfig cfg;
@@ -22,6 +40,7 @@ int main() {
   srm::lapi::Fabric fabric(cluster);
   srm::Communicator comm(cluster, fabric);
   srm::minimpi::World mpi(cluster, cluster.params().mpi_ibm, "halo");
+  srm::sv::SelfCheck sv(comm, sv_skeleton());
 
   constexpr int kCells = 4096;
   int nranks = cfg.nodes * cfg.tasks_per_node;
@@ -92,6 +111,7 @@ int main() {
     }
   });
 
+  if (int rc = sv.finish(); rc != 0) return rc;
   if (iters_out == 0) {
     std::fprintf(stderr, "jacobi did not run\n");
     return 1;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/communicator.hpp"
+#include "sv/sv.hpp"
 
 using srm::machine::Cluster;
 using srm::machine::ClusterConfig;
@@ -19,6 +20,22 @@ using srm::sim::CoTask;
 namespace {
 
 constexpr int kN = 256;  // matrix dimension
+
+// Declared collective skeleton: each iteration assembles the matvec result
+// (sum-allreduce of the full vector) and agrees on convergence
+// (max-allreduce of the lambda delta); the trip count is data-dependent but
+// rank-uniform because every rank evaluates the same max_delta.
+srm::sv::Skeleton sv_skeleton() {
+  using namespace srm::sv;
+  return {"power_method",
+          seq(loop_uniform(
+                  "until max_delta < 1e-10",
+                  seq(call(real(sig_allreduce(Dtype::f64,
+                                              static_cast<std::size_t>(kN),
+                                              RedOp::sum))),
+                      call(real(sig_allreduce(Dtype::f64, 1, RedOp::max))))),
+              call(sig_barrier()))};
+}
 
 // A[i][j] of a fixed symmetric test matrix with a well-separated dominant
 // eigenvalue: diagonally dominant plus a smooth off-diagonal field.
@@ -36,6 +53,7 @@ int main() {
   Cluster cluster(cfg);
   srm::lapi::Fabric fabric(cluster);
   srm::Communicator comm(cluster, fabric);
+  srm::sv::SelfCheck sv(comm, sv_skeleton());
 
   int nranks = cfg.nodes * cfg.tasks_per_node;
   int rows_per = kN / nranks;
@@ -98,6 +116,7 @@ int main() {
     }
   });
 
+  if (int rc = sv.finish(); rc != 0) return rc;
   // Sanity: Gershgorin upper bound for this matrix is ~ 16 + 2*ln(256).
   if (lambda_out < 10.0 || lambda_out > 30.0 || iters_out == 0) {
     std::fprintf(stderr, "unexpected eigenvalue %.3f\n", lambda_out);

@@ -10,11 +10,25 @@
 #include <vector>
 
 #include "core/communicator.hpp"
+#include "sv/sv.hpp"
 
 using srm::machine::Cluster;
 using srm::machine::ClusterConfig;
 using srm::machine::TaskCtx;
 using srm::sim::CoTask;
+
+namespace {
+
+// Declared collective skeleton, checked against the recorded run when
+// SRM_SV_SELFCHECK=1 (how `sv_verify programs` drives this binary).
+srm::sv::Skeleton sv_skeleton() {
+  using namespace srm::sv;
+  return {"quickstart",
+          seq(call(real(sig_bcast(Dtype::kByte, 64, 3))),
+              call(real(sig_allreduce(Dtype::f64, 1, RedOp::sum))))};
+}
+
+}  // namespace
 
 int main() {
   // 1. Describe the machine: 4 SMP nodes, 8 tasks each, SP-like costs.
@@ -26,6 +40,7 @@ int main() {
   // 2. The RMA fabric (LAPI-like endpoints) and the SRM communicator.
   srm::lapi::Fabric fabric(cluster);
   srm::Communicator comm(cluster, fabric);
+  srm::sv::SelfCheck sv(comm, sv_skeleton());
 
   // 3. Every rank runs this coroutine.
   std::vector<double> sums(32, 0.0);
@@ -54,5 +69,6 @@ int main() {
                   srm::sim::to_us(t.eng->now()));
     }
   });
+  if (int rc = sv.finish(); rc != 0) return rc;
   return 0;
 }

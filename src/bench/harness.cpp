@@ -55,6 +55,49 @@ Bench::Bench(Impl impl, int nodes, int tasks_per_node, SrmConfig srm_cfg,
       coll_ = mpi_.get();
       break;
   }
+  if (sv::selfcheck_enabled()) force_selfcheck();
+}
+
+Bench::~Bench() {
+  if (sv_finish() != 0) {
+    std::fflush(nullptr);
+    std::_Exit(3);
+  }
+}
+
+void Bench::force_selfcheck() {
+  sv_armed_ = true;
+  coll_->set_trace_sink(&sv_rec_);
+}
+
+int Bench::sv_finish() {
+  if (sv_done_ || !sv_armed_) return 0;
+  sv_done_ = true;
+  coll_->set_trace_sink(nullptr);
+  if (sv_rec_.empty()) return 0;
+
+  std::string program = std::string("bench:") + coll_->label();
+  sv::Diag d = sv::align_ranks(sv_rec_.by_rank());
+  if (d.ok && !sv_custom_ && !sv_rec_.by_rank()[0].empty()) {
+    sv::Skeleton sk{program, sv::Node{}};
+    sk.root.kind = sv::Node::Kind::seq;
+    sk.root.kids = sv_frags_;
+    d = sv::match_skeleton(sk, sv_rec_.by_rank()[0]);
+  }
+  d.program = program;
+  if (!d.ok) {
+    std::fprintf(stderr, "%s\n", d.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[sv] %s: ok (%zu ranks, %zu calls per rank%s)\n",
+               program.c_str(), sv_rec_.by_rank().size(),
+               sv_rec_.by_rank()[0].size(),
+               sv_custom_ ? ", alignment only" : "");
+  return 0;
+}
+
+sv::SigPat Bench::planed(sv::SigPat p) const {
+  return symbolic_ ? sv::symbolic(p) : sv::real(p);
 }
 
 namespace {
@@ -98,6 +141,25 @@ double Bench::time_collective(
     const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
         op,
     int iters, int warmup) {
+  // Unknown body: the self-check can still cross-align ranks, but has no
+  // declared skeleton fragment to match against.
+  sv_custom_ = true;
+  return timed(op, iters, warmup);
+}
+
+double Bench::timed_sig(
+    const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
+        op,
+    int iters, int warmup, sv::SigPat sig) {
+  if (sv_armed_)
+    sv_frags_.push_back(sv::loop(warmup + iters, sv::call(sig)));
+  return timed(op, iters, warmup);
+}
+
+double Bench::timed(
+    const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
+        op,
+    int iters, int warmup) {
   auto n = static_cast<std::size_t>(cluster_->topology().nranks());
   std::vector<sim::Time> start(n, 0), end(n, 0);
   PerfectSync sync(cluster_->engine(), static_cast<int>(n));
@@ -112,7 +174,7 @@ double Bench::time_collective(
 
 double Bench::time_bcast(std::size_t bytes, int iters) {
   bool symbolic = symbolic_;
-  return time_collective(
+  return timed_sig(
       [bytes, symbolic](machine::TaskCtx& t,
                         coll::Collectives& c) -> sim::CoTask {
         if (symbolic) {
@@ -126,12 +188,12 @@ double Bench::time_bcast(std::size_t bytes, int iters) {
           co_await c.bcast(t, coll::Buf::bytes(buf.data(), bytes), 0);
         }
       },
-      iters);
+      iters, 2, planed(sv::sig_bcast(coll::Dtype::kByte, bytes, 0)));
 }
 
 double Bench::time_reduce(std::size_t count, int iters) {
   bool symbolic = symbolic_;
-  return time_collective(
+  return timed_sig(
       [count, symbolic](machine::TaskCtx& t,
                         coll::Collectives& c) -> sim::CoTask {
         if (symbolic) {
@@ -148,12 +210,13 @@ double Bench::time_reduce(std::size_t count, int iters) {
                             coll::of(out.data(), count), coll::RedOp::sum, 0);
         }
       },
-      iters);
+      iters, 2,
+      planed(sv::sig_reduce(coll::Dtype::f64, count, coll::RedOp::sum, 0)));
 }
 
 double Bench::time_allreduce(std::size_t count, int iters) {
   bool symbolic = symbolic_;
-  return time_collective(
+  return timed_sig(
       [count, symbolic](machine::TaskCtx& t,
                         coll::Collectives& c) -> sim::CoTask {
         if (symbolic) {
@@ -171,20 +234,21 @@ double Bench::time_allreduce(std::size_t count, int iters) {
                                coll::RedOp::sum);
         }
       },
-      iters);
+      iters, 2,
+      planed(sv::sig_allreduce(coll::Dtype::f64, count, coll::RedOp::sum)));
 }
 
 double Bench::time_barrier(int iters) {
-  return time_collective(
+  return timed_sig(
       [](machine::TaskCtx& t, coll::Collectives& c) -> sim::CoTask {
         co_await c.barrier(t);
       },
-      iters, 3);
+      iters, 3, sv::sig_barrier());
 }
 
 double Bench::time_scatter(std::size_t bytes_per, int iters) {
   bool symbolic = symbolic_;
-  return time_collective(
+  return timed_sig(
       [bytes_per, symbolic](machine::TaskCtx& t,
                             coll::Collectives& c) -> sim::CoTask {
         auto nranks = static_cast<std::size_t>(t.nranks());
@@ -203,12 +267,12 @@ double Bench::time_scatter(std::size_t bytes_per, int iters) {
                              coll::Buf::bytes(recv.data(), bytes_per), 0);
         }
       },
-      iters);
+      iters, 2, planed(sv::sig_scatter(coll::Dtype::kByte, bytes_per, 0)));
 }
 
 double Bench::time_gather(std::size_t bytes_per, int iters) {
   bool symbolic = symbolic_;
-  return time_collective(
+  return timed_sig(
       [bytes_per, symbolic](machine::TaskCtx& t,
                             coll::Collectives& c) -> sim::CoTask {
         auto nranks = static_cast<std::size_t>(t.nranks());
@@ -228,12 +292,12 @@ double Bench::time_gather(std::size_t bytes_per, int iters) {
                             coll::Buf::bytes(recv.data(), bytes_per), 0);
         }
       },
-      iters);
+      iters, 2, planed(sv::sig_gather(coll::Dtype::kByte, bytes_per, 0)));
 }
 
 double Bench::time_allgather(std::size_t bytes_per, int iters) {
   bool symbolic = symbolic_;
-  return time_collective(
+  return timed_sig(
       [bytes_per, symbolic](machine::TaskCtx& t,
                             coll::Collectives& c) -> sim::CoTask {
         auto nranks = static_cast<std::size_t>(t.nranks());
@@ -252,13 +316,13 @@ double Bench::time_allgather(std::size_t bytes_per, int iters) {
                                coll::Buf::bytes(recv.data(), bytes_per));
         }
       },
-      iters);
+      iters, 2, planed(sv::sig_allgather(coll::Dtype::kByte, bytes_per)));
 }
 
 double Bench::time_reduce_scatter(std::size_t bytes_per, int iters) {
   std::size_t count = std::max<std::size_t>(bytes_per / sizeof(double), 1);
   bool symbolic = symbolic_;
-  return time_collective(
+  return timed_sig(
       [count, symbolic](machine::TaskCtx& t,
                         coll::Collectives& c) -> sim::CoTask {
         auto nranks = static_cast<std::size_t>(t.nranks());
@@ -279,7 +343,9 @@ double Bench::time_reduce_scatter(std::size_t bytes_per, int iters) {
                                     coll::RedOp::sum);
         }
       },
-      iters);
+      iters, 2,
+      planed(sv::sig_reduce_scatter(coll::Dtype::f64, count,
+                                    coll::RedOp::sum)));
 }
 
 std::string Bench::stats_json(const std::string& bench) const {

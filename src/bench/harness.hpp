@@ -16,6 +16,7 @@
 #include "lapi/lapi.hpp"
 #include "machine/cluster.hpp"
 #include "mpi/comm.hpp"
+#include "sv/sv.hpp"
 
 namespace srm::bench {
 
@@ -32,11 +33,23 @@ const char* impl_name(Impl i);
 /// set_symbolic(true)) and they drive coll::Payload digests instead — same
 /// protocols, same cost model, O(active blocks) memory — which is what makes
 /// mega-scale topologies (4096 nodes x 64 tasks) benchable.
+/// Self-checking (srm::sv): with SRM_SV_SELFCHECK=1 in the environment (or
+/// after force_selfcheck()), the harness installs the sv recording shim at
+/// the Collectives boundary; every canned time_* also appends its expected
+/// skeleton fragment (a warmup+iters loop of one signature). The destructor
+/// cross-aligns the recorded per-rank sequences, matches them against the
+/// accumulated skeleton (unless a custom time_collective body ran —
+/// alignment only, its shape is unknown), and terminates the process with
+/// status 3 on a diagnostic, so `sv_verify programs` catches divergent
+/// bench programs by exit code.
 class Bench {
  public:
   Bench(Impl impl, int nodes, int tasks_per_node,
         SrmConfig srm_cfg = {},
         machine::MachineParams params = machine::MachineParams::ibm_sp());
+  Bench(const Bench&) = delete;
+  Bench& operator=(const Bench&) = delete;
+  ~Bench();
 
   machine::Cluster& cluster() { return *cluster_; }
   obs::Registry& obs() { return cluster_->obs(); }
@@ -79,7 +92,25 @@ class Bench {
   /// obs().set_trace_enabled(true) was on during the run.
   void write_chrome_trace(const std::string& path) const;
 
+  /// Arm the sv self-check regardless of SRM_SV_SELFCHECK (for tests).
+  /// Must be called before the first timed operation.
+  void force_selfcheck();
+  /// Run the sv checks over everything recorded so far and report (0 = ok,
+  /// 1 = diagnostic printed to stderr). Called implicitly by the
+  /// destructor, which turns a nonzero result into process exit status 3.
+  int sv_finish();
+
  private:
+  double timed(
+      const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
+          op,
+      int iters, int warmup);
+  double timed_sig(
+      const std::function<sim::CoTask(machine::TaskCtx&, coll::Collectives&)>&
+          op,
+      int iters, int warmup, sv::SigPat sig);
+  sv::SigPat planed(sv::SigPat p) const;
+
   Impl impl_;
   bool symbolic_ = false;
   std::unique_ptr<machine::Cluster> cluster_;
@@ -87,6 +118,12 @@ class Bench {
   std::unique_ptr<Communicator> srm_;
   std::unique_ptr<minimpi::World> mpi_;
   coll::Collectives* coll_ = nullptr;  // -> srm_ or mpi_
+
+  sv::Recorder sv_rec_;
+  std::vector<sv::Node> sv_frags_;  // expected fragments, one per canned op
+  bool sv_armed_ = false;
+  bool sv_custom_ = false;  // a custom op ran: skip the skeleton match
+  bool sv_done_ = false;
 };
 
 /// Iteration count that keeps large-message sweeps affordable in real time;

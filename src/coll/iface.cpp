@@ -1,130 +1,217 @@
-// API-boundary validation for the Collectives entry points.
+// API-boundary validation + signature dispatch for the Collectives entry
+// points.
 //
 // Every invariant a backend used to assert deep inside protocol code is
 // checked here once, before dispatch: root range, send/recv dtype and
 // equal-block count agreement, real-vs-symbolic mode agreement, numeric
 // dtype for reductions, and symbolic block-span bounds. The wrappers are
 // plain functions (not coroutines), so a violated invariant fires at the
-// call site, not at first resume.
+// call site, not at first resume; failures throw coll::ValidationError
+// carrying {op, rank, field}.
+//
+// After validation each entry derives the call's CallSig from the side of
+// the operation that is significant on every rank, and routes the backend
+// task through dispatch(): the installed TraceSink (sv's recording shim)
+// sees the signature immediately; when obs tracing is on, the backend task
+// is additionally wrapped in a lazily-started "coll.<op>" span coroutine
+// whose args carry the signature — the wrapper uses symmetric transfer and
+// adds no engine events and no virtual time.
 
 #include "coll/iface.hpp"
 
-#include "util/check.hpp"
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.hpp"
 
 namespace srm::coll {
 
 namespace {
 
+// Which call, on which rank, a validation failure belongs to.
+struct VCtx {
+  CollKind op;
+  int rank;
+};
+
+[[noreturn]] void fail(const VCtx& c, const char* field,
+                       const std::string& detail) {
+  std::ostringstream os;
+  os << coll_name(c.op) << " (rank " << c.rank << "): " << detail;
+  throw ValidationError(c.op, c.rank, field, os.str());
+}
+
 // One significant Buf: non-empty storage in exactly one mode, and —
 // symbolically — enough digest blocks with a matching block size.
-void check_buf(const Buf& b, int nranks_blocks, const char* what) {
+void check_buf(const VCtx& c, const Buf& b, int nranks_blocks,
+               const char* what) {
   if (b.count == 0) return;
-  SRM_CHECK_MSG(dtype_size(b.dtype) > 0, what << ": bad dtype");
+  if (dtype_size(b.dtype) == 0)
+    fail(c, "dtype", std::string(what) + ": bad dtype");
   if (b.symbolic()) {
-    SRM_CHECK_MSG(b.data == nullptr,
-                  what << ": a Buf is real or symbolic, not both");
-    SRM_CHECK_MSG(b.pay->block_bytes() == b.block_bytes(),
-                  what << ": payload models " << b.pay->block_bytes()
-                       << "-byte blocks, Buf describes " << b.block_bytes());
-    SRM_CHECK_MSG(
-        b.block0 + static_cast<std::size_t>(nranks_blocks) <=
-            b.pay->nblocks(),
-        what << ": payload spans " << b.pay->nblocks() << " blocks, op needs "
-             << b.block0 + static_cast<std::size_t>(nranks_blocks));
+    if (b.data != nullptr)
+      fail(c, "mode",
+           std::string(what) + ": a Buf is real or symbolic, not both");
+    if (b.pay->block_bytes() != b.block_bytes()) {
+      std::ostringstream os;
+      os << what << ": payload models " << b.pay->block_bytes()
+         << "-byte blocks, Buf describes " << b.block_bytes();
+      fail(c, "block_bytes", os.str());
+    }
+    if (b.block0 + static_cast<std::size_t>(nranks_blocks) >
+        b.pay->nblocks()) {
+      std::ostringstream os;
+      os << what << ": payload spans " << b.pay->nblocks()
+         << " blocks, op needs "
+         << b.block0 + static_cast<std::size_t>(nranks_blocks);
+      fail(c, "blocks", os.str());
+    }
   } else {
-    SRM_CHECK_MSG(b.data != nullptr, what << ": null data");
+    if (b.data == nullptr) fail(c, "data", std::string(what) + ": null data");
   }
 }
 
 // The equal-block invariant between a send/recv pair: same element type,
 // same per-block element count, same transport plane.
-void check_pair(const Buf& s, const Buf& r) {
+void check_pair(const VCtx& c, const Buf& s, const Buf& r) {
   if (s.count == 0 && r.count == 0) return;
-  SRM_CHECK_MSG(s.dtype == r.dtype, "send/recv dtype mismatch");
-  SRM_CHECK_MSG(s.count == r.count,
-                "send/recv block mismatch: " << s.count << " != " << r.count
-                                             << " elements per rank block");
-  SRM_CHECK_MSG(s.symbolic() == r.symbolic(),
-                "send/recv mix real and symbolic transport");
+  if (s.dtype != r.dtype) {
+    std::ostringstream os;
+    os << "send/recv dtype mismatch: " << dtype_name(s.dtype)
+       << " != " << dtype_name(r.dtype);
+    fail(c, "dtype", os.str());
+  }
+  if (s.count != r.count) {
+    std::ostringstream os;
+    os << "send/recv block mismatch: " << s.count << " != " << r.count
+       << " elements per rank block";
+    fail(c, "count", os.str());
+  }
+  if (s.symbolic() != r.symbolic())
+    fail(c, "mode", "send/recv mix real and symbolic transport");
 }
 
-void check_root(const machine::TaskCtx& t, int root) {
-  SRM_CHECK_MSG(root >= 0 && root < t.nranks(),
-                "root " << root << " out of range [0," << t.nranks() << ")");
+void check_root(const VCtx& c, const machine::TaskCtx& t, int root) {
+  if (root < 0 || root >= t.nranks()) {
+    std::ostringstream os;
+    os << "root " << root << " out of range [0," << t.nranks() << ")";
+    fail(c, "root", os.str());
+  }
 }
 
-void check_numeric(const Buf& b) {
-  SRM_CHECK_MSG(b.dtype != Dtype::kByte,
-                "reductions need a numeric Dtype, not kByte");
+void check_numeric(const VCtx& c, const Buf& b) {
+  if (b.dtype == Dtype::kByte)
+    fail(c, "numeric", "reductions need a numeric Dtype, not kByte");
+}
+
+Plane plane_of(const Buf& b) {
+  return b.symbolic() ? Plane::symbolic : Plane::real;
+}
+
+// Signature of a call, derived from its always-significant descriptor.
+CallSig sig_of(CollKind op, const Buf& b, int root = kNoRoot,
+               int red = kNoRed) {
+  return CallSig{op, b.dtype, b.count, root, red, plane_of(b)};
+}
+
+// Span-wrapping shim: opens an args-carrying span on the rank's timeline
+// and forwards to the backend task. Lazy like every CoTask — the span
+// opens when the caller first resumes the collective, closes when the
+// frame (and the Span inside it) is destroyed after completion.
+sim::CoTask traced_call(machine::TaskCtx& t, CallSig sig, sim::CoTask inner) {
+  // cppcheck-suppress unreadVariable  // RAII: closes the span at frame exit
+  obs::Span span(*t.obs, t.rank, std::string("coll.") + coll_name(sig.op),
+                 sig.args_json());
+  co_await inner;
 }
 
 }  // namespace
 
+sim::CoTask Collectives::dispatch(machine::TaskCtx& t, const CallSig& sig,
+                                  sim::CoTask inner) {
+  if (sink_ != nullptr) sink_->on_call(t.rank, t.nranks(), sig);
+  if (t.obs != nullptr && t.obs->trace_enabled())
+    return traced_call(t, sig, std::move(inner));
+  return inner;
+}
+
 sim::CoTask Collectives::bcast(machine::TaskCtx& t, Buf buf, int root) {
-  check_root(t, root);
-  check_buf(buf, 1, "bcast buf");
-  return v_bcast(t, buf, root);
+  VCtx c{CollKind::bcast, t.rank};
+  check_root(c, t, root);
+  check_buf(c, buf, 1, "buf");
+  return dispatch(t, sig_of(c.op, buf, root), v_bcast(t, buf, root));
 }
 
 sim::CoTask Collectives::reduce(machine::TaskCtx& t, Buf send, Buf recv,
                                 RedOp op, int root) {
-  check_root(t, root);
-  check_numeric(send);
-  check_buf(send, 1, "reduce send");
+  VCtx c{CollKind::reduce, t.rank};
+  check_root(c, t, root);
+  check_numeric(c, send);
+  check_buf(c, send, 1, "send");
   if (t.rank == root) {
-    check_pair(send, recv);
-    check_buf(recv, 1, "reduce recv");
+    check_pair(c, send, recv);
+    check_buf(c, recv, 1, "recv");
   }
-  return v_reduce(t, send, recv, op, root);
+  return dispatch(t, sig_of(c.op, send, root, static_cast<int>(op)),
+                  v_reduce(t, send, recv, op, root));
 }
 
 sim::CoTask Collectives::allreduce(machine::TaskCtx& t, Buf send, Buf recv,
                                    RedOp op) {
-  check_numeric(send);
-  check_pair(send, recv);
-  check_buf(send, 1, "allreduce send");
-  check_buf(recv, 1, "allreduce recv");
-  return v_allreduce(t, send, recv, op);
+  VCtx c{CollKind::allreduce, t.rank};
+  check_numeric(c, send);
+  check_pair(c, send, recv);
+  check_buf(c, send, 1, "send");
+  check_buf(c, recv, 1, "recv");
+  return dispatch(t, sig_of(c.op, send, kNoRoot, static_cast<int>(op)),
+                  v_allreduce(t, send, recv, op));
 }
 
-sim::CoTask Collectives::barrier(machine::TaskCtx& t) { return v_barrier(t); }
+sim::CoTask Collectives::barrier(machine::TaskCtx& t) {
+  return dispatch(t, CallSig{}, v_barrier(t));
+}
 
 sim::CoTask Collectives::scatter(machine::TaskCtx& t, Buf send, Buf recv,
                                  int root) {
-  check_root(t, root);
-  check_buf(recv, 1, "scatter recv");
+  VCtx c{CollKind::scatter, t.rank};
+  check_root(c, t, root);
+  check_buf(c, recv, 1, "recv");
   if (t.rank == root) {
-    check_pair(send, recv);
-    check_buf(send, t.nranks(), "scatter send");
+    check_pair(c, send, recv);
+    check_buf(c, send, t.nranks(), "send");
   }
-  return v_scatter(t, send, recv, root);
+  return dispatch(t, sig_of(c.op, recv, root), v_scatter(t, send, recv, root));
 }
 
 sim::CoTask Collectives::gather(machine::TaskCtx& t, Buf send, Buf recv,
                                 int root) {
-  check_root(t, root);
-  check_buf(send, 1, "gather send");
+  VCtx c{CollKind::gather, t.rank};
+  check_root(c, t, root);
+  check_buf(c, send, 1, "send");
   if (t.rank == root) {
-    check_pair(send, recv);
-    check_buf(recv, t.nranks(), "gather recv");
+    check_pair(c, send, recv);
+    check_buf(c, recv, t.nranks(), "recv");
   }
-  return v_gather(t, send, recv, root);
+  return dispatch(t, sig_of(c.op, send, root), v_gather(t, send, recv, root));
 }
 
 sim::CoTask Collectives::allgather(machine::TaskCtx& t, Buf send, Buf recv) {
-  check_pair(send, recv);
-  check_buf(send, 1, "allgather send");
-  check_buf(recv, t.nranks(), "allgather recv");
-  return v_allgather(t, send, recv);
+  VCtx c{CollKind::allgather, t.rank};
+  check_pair(c, send, recv);
+  check_buf(c, send, 1, "send");
+  check_buf(c, recv, t.nranks(), "recv");
+  return dispatch(t, sig_of(c.op, send), v_allgather(t, send, recv));
 }
 
 sim::CoTask Collectives::reduce_scatter(machine::TaskCtx& t, Buf send,
                                         Buf recv, RedOp op) {
-  check_numeric(send);
-  check_pair(send, recv);
-  check_buf(send, t.nranks(), "reduce_scatter send");
-  check_buf(recv, 1, "reduce_scatter recv");
-  return v_reduce_scatter(t, send, recv, op);
+  VCtx c{CollKind::reduce_scatter, t.rank};
+  check_numeric(c, send);
+  check_pair(c, send, recv);
+  check_buf(c, send, t.nranks(), "send");
+  check_buf(c, recv, 1, "recv");
+  return dispatch(t, sig_of(c.op, recv, kNoRoot, static_cast<int>(op)),
+                  v_reduce_scatter(t, send, recv, op));
 }
 
 }  // namespace srm::coll

@@ -16,7 +16,15 @@
 // invariants (root range, dtype/count agreement between send and recv,
 // mode agreement, symbolic block-span bounds) at the API boundary, then
 // forward to the protected v_* hooks a backend implements. Equal-block
-// invariants live here, not deep inside protocol code.
+// invariants live here, not deep inside protocol code. Violations throw
+// coll::ValidationError (sig.hpp) naming the op, rank, and offending field.
+//
+// The same boundary is the observation point for per-call signatures: each
+// entry derives a coll::CallSig and hands it to dispatch(), which (a)
+// forwards it to an installed TraceSink (the sv verifier's recording shim)
+// and (b) when obs tracing is on, wraps the backend task in a
+// "coll.<op>" span carrying the signature as span args — so Chrome traces
+// of different ranks can be diffed call-by-call.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +32,7 @@
 
 #include "coll/buf.hpp"
 #include "coll/ops.hpp"
+#include "coll/sig.hpp"
 #include "machine/cluster.hpp"
 #include "sim/task.hpp"
 
@@ -58,6 +67,12 @@ class Collectives {
   /// Short human-readable implementation tag ("srm", "mpi/ibm", ...).
   virtual std::string label() const = 0;
 
+  /// Install a per-call signature observer (the sv recording shim). Not
+  /// owned; nullptr detaches. The sink sees every validated call, once per
+  /// rank, before the backend task starts.
+  void set_trace_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  TraceSink* trace_sink() const noexcept { return sink_; }
+
  protected:
   virtual sim::CoTask v_bcast(machine::TaskCtx& t, Buf buf, int root) = 0;
   virtual sim::CoTask v_reduce(machine::TaskCtx& t, Buf send, Buf recv,
@@ -72,6 +87,15 @@ class Collectives {
   virtual sim::CoTask v_allgather(machine::TaskCtx& t, Buf send, Buf recv) = 0;
   virtual sim::CoTask v_reduce_scatter(machine::TaskCtx& t, Buf send, Buf recv,
                                        RedOp op) = 0;
+
+ private:
+  /// Record @p sig with the sink, then return @p inner — wrapped in a
+  /// span-opening coroutine when obs tracing is enabled, untouched (zero
+  /// overhead beyond the sink call) otherwise.
+  sim::CoTask dispatch(machine::TaskCtx& t, const CallSig& sig,
+                       sim::CoTask inner);
+
+  TraceSink* sink_ = nullptr;
 };
 
 }  // namespace srm::coll

@@ -64,8 +64,8 @@ std::size_t encode_element(Dtype d, std::uint64_t seed, std::size_t gblock,
 std::uint64_t pattern_value(std::uint64_t seed, std::size_t gblock,
                             std::size_t i) {
   std::uint64_t x = seed * 0x9E3779B97F4A7C15ull +
-                    static_cast<std::uint64_t>(gblock) * 0xBF58476D1CE4E5B9ull +
-                    static_cast<std::uint64_t>(i) * 0x94D049BB133111EBull;
+                    gblock * 0xBF58476D1CE4E5B9ull +
+                    i * 0x94D049BB133111EBull;
   x ^= x >> 31;
   x *= 0xD6E8FEB86659FD93ull;
   x ^= x >> 27;

@@ -1,0 +1,59 @@
+#include "coll/sig.hpp"
+
+#include <sstream>
+
+namespace srm::coll {
+
+const char* coll_name(CollKind k) {
+  switch (k) {
+    case CollKind::bcast: return "bcast";
+    case CollKind::reduce: return "reduce";
+    case CollKind::allreduce: return "allreduce";
+    case CollKind::barrier: return "barrier";
+    case CollKind::scatter: return "scatter";
+    case CollKind::gather: return "gather";
+    case CollKind::allgather: return "allgather";
+    case CollKind::reduce_scatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+const char* plane_name(Plane p) {
+  switch (p) {
+    case Plane::real: return "real";
+    case Plane::symbolic: return "symbolic";
+    case Plane::none: return "none";
+  }
+  return "?";
+}
+
+std::string CallSig::to_string() const {
+  std::ostringstream os;
+  os << coll_name(op) << '(';
+  if (op == CollKind::barrier) {
+    os << ')';
+    return os.str();
+  }
+  os << dtype_name(dtype) << " x" << count;
+  if (red != kNoRed) os << ", " << op_name(static_cast<RedOp>(red));
+  if (root != kNoRoot) os << ", root " << root;
+  os << ", " << plane_name(plane) << ')';
+  return os.str();
+}
+
+std::string CallSig::args_json() const {
+  std::ostringstream os;
+  os << "{\"op\":\"" << coll_name(op) << '"';
+  if (op != CollKind::barrier) {
+    os << ",\"dtype\":\"" << dtype_name(dtype) << '"' << ",\"count\":" << count;
+    if (root != kNoRoot) os << ",\"root\":" << root;
+    if (red != kNoRed) {
+      os << ",\"red\":\"" << op_name(static_cast<RedOp>(red)) << '"';
+    }
+    os << ",\"plane\":\"" << plane_name(plane) << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace srm::coll

@@ -86,11 +86,12 @@ std::size_t Registry::span_begin(int rank, const char* name) {
   return span_begin(rank, std::string(name));
 }
 
-std::size_t Registry::span_begin(int rank, std::string name) {
+std::size_t Registry::span_begin(int rank, std::string name,
+                                 std::string args) {
   if (!trace_) return kNoSpan;
   std::size_t id = spans_.size();
   spans_.push_back(SpanRec{std::move(name), rank, eng_->now(), eng_->now(),
-                           /*open=*/true});
+                           /*open=*/true, std::move(args)});
   return id;
 }
 
@@ -208,7 +209,10 @@ std::string Registry::chrome_trace_json() const {
     os << "{\"name\":\"" << escape(s.name)
        << "\",\"cat\":\"" << (s.open ? "open" : "coll")
        << "\",\"ph\":\"X\",\"ts\":" << num(ts_us) << ",\"dur\":" << num(dur_us)
-       << ",\"pid\":0,\"tid\":" << (s.rank * kLaneStride + lane[idx]) << "}";
+       << ",\"pid\":0,\"tid\":" << (s.rank * kLaneStride + lane[idx]);
+    // s.args is pre-rendered JSON (CallSig::args_json) — emit verbatim.
+    if (!s.args.empty()) os << ",\"args\":" << s.args;
+    os << "}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();

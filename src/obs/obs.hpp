@@ -71,7 +71,8 @@ struct SpanRec {
   int rank;
   sim::Time begin;
   sim::Time end;
-  bool open;  ///< true while span_end has not been called
+  bool open;         ///< true while span_end has not been called
+  std::string args;  ///< optional pre-rendered JSON object ("{...}") or empty
 };
 
 class Registry {
@@ -108,9 +109,12 @@ class Registry {
   bool trace_enabled() const { return trace_; }
 
   /// Open a span on @p rank's timeline at now(). Returns kNoSpan (and
-  /// records nothing) while tracing is disabled.
+  /// records nothing) while tracing is disabled. @p args, when non-empty,
+  /// must be a rendered JSON object; the Chrome exporter emits it verbatim
+  /// as the event's "args" so per-call attributes (collective signatures)
+  /// survive into the trace.
   std::size_t span_begin(int rank, const char* name);
-  std::size_t span_begin(int rank, std::string name);
+  std::size_t span_begin(int rank, std::string name, std::string args = {});
   /// Close a span at now(). Passing kNoSpan is a no-op.
   void span_end(std::size_t id);
 
@@ -145,8 +149,8 @@ class Span {
  public:
   Span(Registry& r, int rank, const char* name)
       : r_(&r), id_(r.span_begin(rank, name)) {}
-  Span(Registry& r, int rank, std::string name)
-      : r_(&r), id_(r.span_begin(rank, std::move(name))) {}
+  Span(Registry& r, int rank, std::string name, std::string args = {})
+      : r_(&r), id_(r.span_begin(rank, std::move(name), std::move(args))) {}
   Span(Span&& o) noexcept
       : r_(std::exchange(o.r_, nullptr)),
         id_(std::exchange(o.id_, Registry::kNoSpan)) {}

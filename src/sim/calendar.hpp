@@ -95,7 +95,7 @@ class CalendarQueue {
   static constexpr std::size_t kShrinkFactor = 8;
 
   std::size_t index_of(Time t) const noexcept {
-    return static_cast<std::size_t>(t / width_) & (buckets_.size() - 1);
+    return (t / width_) & (buckets_.size() - 1);
   }
   Time day_end(Time t) const noexcept { return (t / width_ + 1) * width_; }
 

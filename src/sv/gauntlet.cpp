@@ -1,0 +1,236 @@
+#include "sv/gauntlet.hpp"
+
+#include <utility>
+
+namespace srm::sv {
+
+namespace {
+
+// A concrete signature for synthetic traces (the dynamic-layer mutants).
+CallSig csig(CollKind op, Dtype d = Dtype::kByte, std::size_t count = 0,
+             int root = coll::kNoRoot, int red = coll::kNoRed,
+             Plane plane = Plane::none) {
+  return CallSig{op, d, count, root, red, plane};
+}
+
+CallSig c_bcast(std::size_t n, int root, Dtype d = Dtype::f64) {
+  return csig(CollKind::bcast, d, n, root, coll::kNoRed, Plane::real);
+}
+CallSig c_allreduce(std::size_t n, RedOp op = RedOp::sum,
+                    Dtype d = Dtype::f64) {
+  return csig(CollKind::allreduce, d, n, coll::kNoRoot,
+              static_cast<int>(op), Plane::real);
+}
+CallSig c_reduce(std::size_t n, int root, RedOp op = RedOp::sum) {
+  return csig(CollKind::reduce, Dtype::f64, n, root, static_cast<int>(op),
+              Plane::real);
+}
+CallSig c_barrier() { return csig(CollKind::barrier); }
+
+// All ranks issue `base`; `mutate(rank seq)` plants the bug on one rank.
+template <class Fn>
+std::vector<std::vector<CallSig>> traces(int nranks,
+                                         const std::vector<CallSig>& base,
+                                         int bad_rank, Fn mutate) {
+  std::vector<std::vector<CallSig>> out(static_cast<std::size_t>(nranks),
+                                        base);
+  mutate(out[static_cast<std::size_t>(bad_rank)]);
+  return out;
+}
+
+struct Mutant {
+  std::string name;
+  std::string expect_kind;
+  std::string expect_field;
+  Diag got;
+};
+
+Mutant static_mutant(std::string name, std::string kind, std::string field,
+                     Node root) {
+  Skeleton sk{name, std::move(root)};
+  Diag got = verify(sk);
+  return Mutant{std::move(name), std::move(kind), std::move(field),
+                std::move(got)};
+}
+
+Mutant trace_mutant(std::string name, std::string kind, std::string field,
+                    const std::vector<std::vector<CallSig>>& by_rank) {
+  Diag got = align_ranks(by_rank);
+  return Mutant{std::move(name), std::move(kind), std::move(field),
+                std::move(got)};
+}
+
+Mutant skeleton_mutant(std::string name, std::string kind, std::string field,
+                       const Skeleton& sk,
+                       const std::vector<CallSig>& seq) {
+  Diag got = match_skeleton(sk, seq);
+  return Mutant{std::move(name), std::move(kind), std::move(field),
+                std::move(got)};
+}
+
+std::vector<Mutant> all_mutants() {
+  std::vector<Mutant> m;
+
+  // ---- static layer: skeletons with planted divergence ----
+
+  // 1. Wrong root on some ranks: low ranks broadcast from 0, high from 1.
+  m.push_back(static_mutant(
+      "static-wrong-root-one-rank", "arm-mismatch", "root",
+      branch_rank("if (rank < 2)", call(sig_bcast(Dtype::f64, 8, 0)),
+                  call(sig_bcast(Dtype::f64, 8, 1)))));
+
+  // 2. Conditional skip: non-root ranks skip the allreduce entirely.
+  m.push_back(static_mutant(
+      "static-conditional-skip", "arm-extra", "",
+      branch_rank("if (rank != 0)",
+                  seq(call(sig_allreduce(Dtype::f64, 4, RedOp::sum)),
+                      call(sig_barrier())),
+                  call(sig_barrier()))));
+
+  // 3. Dtype mismatch across a rank branch.
+  m.push_back(static_mutant(
+      "static-dtype-mismatch", "arm-mismatch", "dtype",
+      branch_rank("if (rank % 2 == 0)",
+                  call(sig_allreduce(Dtype::f64, 16, RedOp::sum)),
+                  call(sig_allreduce(Dtype::f32, 16, RedOp::sum)))));
+
+  // 4. Count mismatch across a rank branch.
+  m.push_back(static_mutant(
+      "static-count-mismatch", "arm-mismatch", "count",
+      branch_rank("if (rank == 0)",
+                  call(sig_reduce(Dtype::f64, 64, RedOp::sum, 0)),
+                  call(sig_reduce(Dtype::f64, 32, RedOp::sum, 0)))));
+
+  // 5. RedOp mismatch across a rank branch.
+  m.push_back(static_mutant(
+      "static-redop-mismatch", "arm-mismatch", "red",
+      branch_rank("if (rank < nranks/2)",
+                  call(sig_allreduce(Dtype::f64, 1, RedOp::sum)),
+                  call(sig_allreduce(Dtype::f64, 1, RedOp::max)))));
+
+  // 6. Reordered collectives across a rank branch.
+  m.push_back(static_mutant(
+      "static-op-reorder", "arm-reorder", "",
+      branch_rank("if (rank == 0)",
+                  seq(call(sig_bcast(Dtype::f64, 8, 0)),
+                      call(sig_reduce(Dtype::f64, 8, RedOp::sum, 0))),
+                  seq(call(sig_reduce(Dtype::f64, 8, RedOp::sum, 0)),
+                      call(sig_bcast(Dtype::f64, 8, 0))))));
+
+  // 7. Extra barrier on one side of a rank branch.
+  m.push_back(static_mutant(
+      "static-extra-barrier", "arm-extra", "",
+      branch_rank("if (rank == 0)",
+                  seq(call(sig_allreduce(Dtype::f64, 2, RedOp::sum)),
+                      call(sig_barrier())),
+                  call(sig_allreduce(Dtype::f64, 2, RedOp::sum)))));
+
+  // 8. Collective inside a rank-dependent loop trip count.
+  m.push_back(static_mutant(
+      "static-rank-loop", "rank-loop", "",
+      loop_rank("for (int i = 0; i < rank; ++i)", call(sig_barrier()))));
+
+  // 9. Transport-plane mismatch across a rank branch.
+  m.push_back(static_mutant(
+      "static-plane-mismatch", "arm-mismatch", "plane",
+      branch_rank("if (rank % 2 == 0)",
+                  call(real(sig_allreduce(Dtype::f64, 8, RedOp::sum))),
+                  call(symbolic(sig_allreduce(Dtype::f64, 8, RedOp::sum))))));
+
+  // ---- dynamic layer: per-rank traces with one dissenting rank ----
+
+  const std::vector<CallSig> base = {c_bcast(8, 0), c_allreduce(4),
+                                     c_reduce(16, 0), c_barrier()};
+
+  // 10. One rank broadcasts from the wrong root.
+  m.push_back(trace_mutant("trace-root-diverge", "trace-mismatch", "root",
+                           traces(4, base, 2, [](std::vector<CallSig>& s) {
+                             s[0] = c_bcast(8, 1);
+                           })));
+
+  // 11. One rank skips the allreduce.
+  m.push_back(trace_mutant("trace-skip-allreduce", "trace-skip", "",
+                           traces(4, base, 3, [](std::vector<CallSig>& s) {
+                             s.erase(s.begin() + 1);
+                           })));
+
+  // 12. One rank issues an extra barrier mid-sequence.
+  m.push_back(trace_mutant("trace-extra-barrier", "trace-extra", "",
+                           traces(4, base, 1, [](std::vector<CallSig>& s) {
+                             s.insert(s.begin() + 2, c_barrier());
+                           })));
+
+  // 13. One rank swaps two adjacent collectives.
+  m.push_back(trace_mutant("trace-reorder", "trace-reorder", "",
+                           traces(4, base, 2, [](std::vector<CallSig>& s) {
+                             std::swap(s[1], s[2]);
+                           })));
+
+  // 14. One rank reduces in f32 while the rest reduce in f64.
+  m.push_back(trace_mutant("trace-dtype-diverge", "trace-mismatch", "dtype",
+                           traces(4, base, 1, [](std::vector<CallSig>& s) {
+                             s[1] = c_allreduce(4, RedOp::sum, Dtype::f32);
+                           })));
+
+  // ---- skeleton-vs-trace layer: declaration out of sync with the run ----
+
+  const Skeleton decl{
+      "skeleton-decl",
+      seq(call(sig_bcast(Dtype::f64, 8, 0)),
+          call(sig_allreduce(Dtype::f64, 4, RedOp::sum)),
+          call(sig_barrier()))};
+
+  // 15. The run drops the trailing barrier the skeleton declares.
+  m.push_back(skeleton_mutant("skeleton-missing-barrier", "skeleton-mismatch",
+                              "", decl, {c_bcast(8, 0), c_allreduce(4)}));
+
+  // 16. The run disagrees with the declared element count.
+  m.push_back(skeleton_mutant(
+      "skeleton-count-drift", "skeleton-mismatch", "count", decl,
+      {c_bcast(8, 0), c_allreduce(2), c_barrier()}));
+
+  // ---- clean controls: no diagnostics allowed ----
+
+  m.push_back(static_mutant(
+      "control-clean-static", "", "",
+      seq(branch_rank("if (rank == root)", call(sig_bcast(Dtype::f64, 8, 0)),
+                      call(sig_bcast(Dtype::f64, 8, 0))),
+          loop(3, call(sig_allreduce(Dtype::f64, 4, RedOp::sum))),
+          branch_uniform("if (converged)", call(sig_barrier()),
+                         seq(call(sig_allreduce(Dtype::f64, 1, RedOp::max)),
+                             call(sig_barrier()))))));
+
+  m.push_back(trace_mutant("control-clean-trace", "", "",
+                           traces(4, base, 0, [](std::vector<CallSig>&) {})));
+
+  return m;
+}
+
+}  // namespace
+
+std::vector<MutantResult> run_gauntlet() {
+  std::vector<MutantResult> out;
+  for (Mutant& mu : all_mutants()) {
+    MutantResult r;
+    r.name = std::move(mu.name);
+    r.expect_kind = std::move(mu.expect_kind);
+    r.expect_field = std::move(mu.expect_field);
+    r.got = std::move(mu.got);
+    if (r.expect_kind.empty()) {
+      r.pass = r.got.ok;
+    } else {
+      r.pass = !r.got.ok && r.got.kind == r.expect_kind &&
+               (r.expect_field.empty() || r.got.field == r.expect_field);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool gauntlet_ok(const std::vector<MutantResult>& results) {
+  for (const MutantResult& r : results)
+    if (!r.pass) return false;
+  return true;
+}
+
+}  // namespace srm::sv

@@ -1,0 +1,34 @@
+// sv::gauntlet — seeded-mismatch mutants that pin the verifier's
+// diagnostics.
+//
+// Each mutant plants one classic collective-matching bug — wrong root on
+// one rank, a conditional that skips a collective, dtype/count/RedOp/plane
+// mismatches, reordered ops, an extra barrier, a rank-dependent loop — in
+// either a skeleton (static layer) or a synthetic per-rank trace (dynamic
+// layer), and requires the verifier to produce its *exact* diagnostic
+// class (and mismatched field, where one applies). Two clean controls
+// guard against false positives. Run by `sv_verify gauntlet` in CI and by
+// tests/sv_gauntlet_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sv/trace.hpp"
+
+namespace srm::sv {
+
+struct MutantResult {
+  std::string name;
+  std::string expect_kind;   ///< expected Diag::kind ("" = expect ok)
+  std::string expect_field;  ///< expected Diag::field ("" = don't care)
+  Diag got;
+  bool pass = false;
+};
+
+/// Run every seeded mutant; one result each, in declaration order.
+std::vector<MutantResult> run_gauntlet();
+
+bool gauntlet_ok(const std::vector<MutantResult>& results);
+
+}  // namespace srm::sv

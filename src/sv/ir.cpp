@@ -1,0 +1,221 @@
+#include "sv/ir.hpp"
+
+#include <sstream>
+
+namespace srm::sv {
+
+const char* field_name(SigField f) {
+  switch (f) {
+    case SigField::op: return "op";
+    case SigField::dtype: return "dtype";
+    case SigField::count: return "count";
+    case SigField::root: return "root";
+    case SigField::red: return "red";
+    case SigField::plane: return "plane";
+  }
+  return "?";
+}
+
+SigPat pat(const CallSig& s) {
+  return SigPat{s.op,  s.dtype, s.count,
+                s.root, s.red,  static_cast<int>(s.plane)};
+}
+
+std::optional<SigField> first_mismatch(const SigPat& a, const SigPat& b) {
+  if (a.op != b.op) return SigField::op;
+  // Barrier has no payload: dtype/count/root/red/plane are not part of its
+  // signature.
+  if (a.op == CollKind::barrier) return std::nullopt;
+  if (a.dtype != b.dtype) return SigField::dtype;
+  if (a.count != b.count && a.count != kAnyCount && b.count != kAnyCount)
+    return SigField::count;
+  if (a.root != b.root && a.root != kAnyRoot && b.root != kAnyRoot)
+    return SigField::root;
+  if (a.red != b.red && a.red != kAnyRed && b.red != kAnyRed)
+    return SigField::red;
+  if (a.plane != b.plane && a.plane != kAnyPlane && b.plane != kAnyPlane)
+    return SigField::plane;
+  return std::nullopt;
+}
+
+std::string SigPat::to_string() const {
+  std::ostringstream os;
+  os << coll_name(op) << '(';
+  if (op == CollKind::barrier) {
+    os << ')';
+    return os.str();
+  }
+  os << dtype_name(dtype) << " x";
+  if (count == kAnyCount) {
+    os << '*';
+  } else {
+    os << count;
+  }
+  if (red == kAnyRed) {
+    os << ", red *";
+  } else if (red != coll::kNoRed) {
+    os << ", " << op_name(static_cast<RedOp>(red));
+  }
+  if (root == kAnyRoot) {
+    os << ", root *";
+  } else if (root != coll::kNoRoot) {
+    os << ", root " << root;
+  }
+  if (plane != kAnyPlane)
+    os << ", " << plane_name(static_cast<Plane>(plane));
+  os << ')';
+  return os.str();
+}
+
+namespace {
+
+SigPat moving(CollKind op, Dtype d, std::size_t count) {
+  SigPat p;
+  p.op = op;
+  p.dtype = d;
+  p.count = count;
+  return p;
+}
+
+}  // namespace
+
+SigPat sig_bcast(Dtype d, std::size_t count, int root) {
+  SigPat p = moving(CollKind::bcast, d, count);
+  p.root = root;
+  return p;
+}
+
+SigPat sig_reduce(Dtype d, std::size_t count, RedOp op, int root) {
+  SigPat p = moving(CollKind::reduce, d, count);
+  p.red = static_cast<int>(op);
+  p.root = root;
+  return p;
+}
+
+SigPat sig_allreduce(Dtype d, std::size_t count, RedOp op) {
+  SigPat p = moving(CollKind::allreduce, d, count);
+  p.red = static_cast<int>(op);
+  return p;
+}
+
+SigPat sig_barrier() {
+  SigPat p;
+  p.op = CollKind::barrier;
+  p.count = 0;
+  p.plane = static_cast<int>(Plane::none);
+  return p;
+}
+
+SigPat sig_scatter(Dtype d, std::size_t count, int root) {
+  SigPat p = moving(CollKind::scatter, d, count);
+  p.root = root;
+  return p;
+}
+
+SigPat sig_gather(Dtype d, std::size_t count, int root) {
+  SigPat p = moving(CollKind::gather, d, count);
+  p.root = root;
+  return p;
+}
+
+SigPat sig_allgather(Dtype d, std::size_t count) {
+  return moving(CollKind::allgather, d, count);
+}
+
+SigPat sig_reduce_scatter(Dtype d, std::size_t count, RedOp op) {
+  SigPat p = moving(CollKind::reduce_scatter, d, count);
+  p.red = static_cast<int>(op);
+  return p;
+}
+
+Node call(SigPat s) {
+  Node n;
+  n.kind = Node::Kind::call;
+  n.sig = s;
+  return n;
+}
+
+namespace {
+
+Node branch(std::string where, bool rank_pred, Node then_arm, Node else_arm) {
+  Node n;
+  n.kind = Node::Kind::branch;
+  n.where = std::move(where);
+  n.rank_pred = rank_pred;
+  n.kids.push_back(std::move(then_arm));
+  n.kids.push_back(std::move(else_arm));
+  return n;
+}
+
+Node make_loop(std::string where, int trip, bool rank_trip, Node body) {
+  Node n;
+  n.kind = Node::Kind::loop;
+  n.where = std::move(where);
+  n.trip = trip;
+  n.rank_trip = rank_trip;
+  n.kids.push_back(std::move(body));
+  return n;
+}
+
+}  // namespace
+
+Node branch_uniform(std::string where, Node then_arm, Node else_arm) {
+  return branch(std::move(where), /*rank_pred=*/false, std::move(then_arm),
+                std::move(else_arm));
+}
+
+Node branch_rank(std::string where, Node then_arm, Node else_arm) {
+  return branch(std::move(where), /*rank_pred=*/true, std::move(then_arm),
+                std::move(else_arm));
+}
+
+Node loop(int trip, Node body) {
+  return make_loop({}, trip, /*rank_trip=*/false, std::move(body));
+}
+
+Node loop_uniform(std::string where, Node body) {
+  return make_loop(std::move(where), kAnyTrip, /*rank_trip=*/false,
+                   std::move(body));
+}
+
+Node loop_rank(std::string where, Node body) {
+  return make_loop(std::move(where), kAnyTrip, /*rank_trip=*/true,
+                   std::move(body));
+}
+
+std::string Node::to_string() const {
+  switch (kind) {
+    case Kind::call: return sig.to_string();
+    case Kind::seq: {
+      std::string out = "seq{";
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        if (i > 0) out += "; ";
+        out += kids[i].to_string();
+      }
+      return out + "}";
+    }
+    case Kind::branch: {
+      std::string out = rank_pred ? "branch_rank[" : "branch_uniform[";
+      out += where + "]{" + kids[0].to_string() + " | " +
+             kids[1].to_string() + "}";
+      return out;
+    }
+    case Kind::loop: {
+      std::ostringstream os;
+      os << "loop[";
+      if (!where.empty()) os << where << "; ";
+      if (rank_trip) {
+        os << "rank trips";
+      } else if (trip == kAnyTrip) {
+        os << "uniform trips";
+      } else {
+        os << trip << " trips";
+      }
+      os << "]{" << kids[0].to_string() << "}";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace srm::sv

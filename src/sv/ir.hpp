@@ -1,0 +1,152 @@
+// sv::ir — the comm-skeleton IR: a declarative model of the collective
+// structure of a program written against coll::Collectives.
+//
+// A skeleton is a tree of seq / branch / loop nodes whose leaves are
+// collective-call signatures (SigPat — a coll::CallSig with optional
+// wildcard fields). Branches carry whether their predicate is
+// *rank-dependent* (different ranks may take different arms) or *uniform*
+// (replicated data: every rank takes the same arm). Loops carry their trip
+// count — a known constant, unknown-but-uniform (kAnyTrip), or
+// rank-dependent (the classic PARCOACH error when the body issues
+// collectives).
+//
+// Skeletons are declared alongside each program in examples/ and bench/;
+// sv/verify.hpp proves all rank-feasible paths issue identical collective
+// sequences, and sv/trace.hpp checks recorded per-rank signature sequences
+// against the declaration so skeletons cannot rot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coll/sig.hpp"
+
+namespace srm::sv {
+
+using coll::CallSig;
+using coll::CollKind;
+using coll::Dtype;
+using coll::Plane;
+using coll::RedOp;
+
+// ---- signature patterns -------------------------------------------------
+
+/// Wildcards for SigPat fields (distinct from coll::kNoRoot / kNoRed,
+/// which mean "this op has no such field").
+inline constexpr std::size_t kAnyCount = static_cast<std::size_t>(-1);
+inline constexpr int kAnyRoot = -2;
+inline constexpr int kAnyRed = -2;
+inline constexpr int kAnyPlane = -1;
+inline constexpr int kAnyTrip = -1;
+
+/// The comparable fields of a collective signature, in diagnostic order.
+enum class SigField : std::uint8_t { op, dtype, count, root, red, plane };
+const char* field_name(SigField f);
+
+/// A collective-call signature with optional wildcard fields. A concrete
+/// coll::CallSig lifts to a fully-ground SigPat via pat().
+struct SigPat {
+  CollKind op = CollKind::barrier;
+  Dtype dtype = Dtype::kByte;
+  std::size_t count = kAnyCount;
+  int root = coll::kNoRoot;  ///< kAnyRoot = wildcard
+  int red = coll::kNoRed;    ///< kAnyRed = wildcard
+  int plane = kAnyPlane;     ///< static_cast<int>(Plane) or kAnyPlane
+
+  bool operator==(const SigPat&) const = default;
+  std::string to_string() const;
+};
+
+/// Ground pattern of a concrete signature.
+SigPat pat(const CallSig& s);
+
+/// First field on which two patterns cannot denote the same signature
+/// (wildcards unify with anything); nullopt when compatible. Barrier
+/// carries no payload fields, so two barriers always unify.
+std::optional<SigField> first_mismatch(const SigPat& a, const SigPat& b);
+
+inline bool pat_compatible(const SigPat& a, const SigPat& b) {
+  return !first_mismatch(a, b).has_value();
+}
+inline bool pat_matches(const SigPat& p, const CallSig& s) {
+  return pat_compatible(p, pat(s));
+}
+
+// ---- signature builders (the declaration vocabulary) --------------------
+
+SigPat sig_bcast(Dtype d, std::size_t count, int root);
+SigPat sig_reduce(Dtype d, std::size_t count, RedOp op, int root);
+SigPat sig_allreduce(Dtype d, std::size_t count, RedOp op);
+SigPat sig_barrier();
+SigPat sig_scatter(Dtype d, std::size_t count, int root);
+SigPat sig_gather(Dtype d, std::size_t count, int root);
+SigPat sig_allgather(Dtype d, std::size_t count);
+SigPat sig_reduce_scatter(Dtype d, std::size_t count, RedOp op);
+
+/// Pin the transport plane of a builder result (default: any plane).
+inline SigPat real(SigPat p) {
+  p.plane = static_cast<int>(Plane::real);
+  return p;
+}
+inline SigPat symbolic(SigPat p) {
+  p.plane = static_cast<int>(Plane::symbolic);
+  return p;
+}
+
+// ---- skeleton nodes -----------------------------------------------------
+
+struct Node {
+  enum class Kind : std::uint8_t { call, seq, branch, loop };
+
+  Kind kind = Kind::seq;
+  SigPat sig;              ///< call: the signature issued
+  std::string where;       ///< branch/loop: human-readable source anchor
+  bool rank_pred = false;  ///< branch: predicate depends on the rank
+  int trip = kAnyTrip;     ///< loop: trip count (kAnyTrip = data-dependent)
+  bool rank_trip = false;  ///< loop: trip count depends on the rank
+  std::vector<Node> kids;  ///< seq: children; branch: {then, else}; loop: {body}
+
+  std::string to_string() const;
+};
+
+/// One collective call.
+Node call(SigPat s);
+
+/// Sequential composition (empty seq = the empty arm).
+inline Node seq() { return Node{}; }
+template <class... Kids>
+Node seq(Node first, Kids... rest) {
+  Node n;
+  n.kind = Node::Kind::seq;
+  n.kids.push_back(std::move(first));
+  (n.kids.push_back(std::move(rest)), ...);
+  return n;
+}
+
+/// Branch on replicated data: every rank takes the same arm, so the arms
+/// may issue different sequences.
+Node branch_uniform(std::string where, Node then_arm, Node else_arm = seq());
+/// Branch on a rank-dependent predicate: different ranks may take different
+/// arms, so the verifier requires both arms to issue identical sequences.
+Node branch_rank(std::string where, Node then_arm, Node else_arm = seq());
+
+/// Loop with a known, rank-uniform trip count.
+Node loop(int trip, Node body);
+/// Loop whose trip count is data-dependent but identical on every rank
+/// (e.g. an iterate-until-converged loop over replicated residuals).
+Node loop_uniform(std::string where, Node body);
+/// Loop whose trip count depends on the rank — an error whenever the body
+/// issues collectives.
+Node loop_rank(std::string where, Node body);
+
+/// A program's declared collective structure.
+struct Skeleton {
+  std::string program;  ///< name reported in diagnostics
+  Node root;
+};
+
+}  // namespace srm::sv

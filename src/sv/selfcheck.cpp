@@ -1,0 +1,44 @@
+#include "sv/selfcheck.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace srm::sv {
+
+bool selfcheck_enabled() {
+  const char* v = std::getenv("SRM_SV_SELFCHECK");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+SelfCheck::SelfCheck(coll::Collectives& impl, Skeleton sk, bool arm)
+    : impl_(&impl), sk_(std::move(sk)), armed_(arm) {
+  if (armed_) impl_->set_trace_sink(&rec_);
+}
+
+SelfCheck::~SelfCheck() {
+  if (armed_ && impl_->trace_sink() == &rec_) impl_->set_trace_sink(nullptr);
+}
+
+int SelfCheck::finish() {
+  if (!armed_) return 0;
+
+  Diag d = verify(sk_);
+  if (d.ok && !rec_.empty()) {
+    d = align_ranks(rec_.by_rank());
+    if (!d.ok) d.program = sk_.program;
+  }
+  if (d.ok && !rec_.empty() && !rec_.by_rank()[0].empty())
+    d = match_skeleton(sk_, rec_.by_rank()[0]);
+
+  if (!d.ok) {
+    std::fprintf(stderr, "%s\n", d.to_string().c_str());
+    return 1;
+  }
+  std::size_t calls = rec_.empty() ? 0 : rec_.by_rank()[0].size();
+  std::fprintf(stderr, "[sv] %s: ok (%zu ranks, %zu calls per rank)\n",
+               sk_.program.c_str(), rec_.by_rank().size(), calls);
+  return 0;
+}
+
+}  // namespace srm::sv

@@ -1,0 +1,52 @@
+// sv::SelfCheck — the in-program harness that ties a declared skeleton to
+// a live run.
+//
+// A program declares its skeleton next to its code and constructs a
+// SelfCheck around its Collectives implementation. When armed (explicitly,
+// or via SRM_SV_SELFCHECK=1 in the environment — how sv_verify drives the
+// example/bench binaries), the recording shim is installed at the NVI
+// boundary for the program's run; finish() then runs all three checks:
+//   1. static verify of the declared skeleton (sv/verify.hpp),
+//   2. cross-rank lockstep alignment of the recorded traces,
+//   3. rank 0's recorded sequence matched against the skeleton,
+// prints the first diagnostic (or an ok line) to stderr, and returns a
+// process exit status. Unarmed, everything is a no-op and finish()
+// returns 0.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "coll/iface.hpp"
+#include "sv/trace.hpp"
+
+namespace srm::sv {
+
+/// True when SRM_SV_SELFCHECK is set in the environment (and not "0").
+bool selfcheck_enabled();
+
+class SelfCheck {
+ public:
+  SelfCheck(coll::Collectives& impl, Skeleton sk,
+            bool arm = selfcheck_enabled());
+  SelfCheck(const SelfCheck&) = delete;
+  SelfCheck& operator=(const SelfCheck&) = delete;
+  ~SelfCheck();
+
+  bool armed() const { return armed_; }
+  Recorder& recorder() { return rec_; }
+  const Skeleton& skeleton() const { return sk_; }
+
+  /// Run the checks over what was recorded; print the first diagnostic (or
+  /// an ok summary) to stderr. Returns 0 on success, 1 on a diagnostic;
+  /// 0 (silently) when unarmed.
+  int finish();
+
+ private:
+  coll::Collectives* impl_;
+  Skeleton sk_;
+  bool armed_;
+  Recorder rec_;
+};
+
+}  // namespace srm::sv

@@ -1,0 +1,10 @@
+// srm::sv — static collective-matching verifier: comm-skeleton IR,
+// path-sensitive static matching, trace-prefix cross-validation, and the
+// seeded-mismatch gauntlet. One include for programs declaring skeletons.
+#pragma once
+
+#include "sv/gauntlet.hpp"   // IWYU pragma: export
+#include "sv/ir.hpp"         // IWYU pragma: export
+#include "sv/selfcheck.hpp"  // IWYU pragma: export
+#include "sv/trace.hpp"      // IWYU pragma: export
+#include "sv/verify.hpp"     // IWYU pragma: export

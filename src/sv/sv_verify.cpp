@@ -1,0 +1,97 @@
+// sv_verify — CLI driver for the collective-matching verifier.
+//
+//   sv_verify gauntlet              run the seeded-mismatch mutants
+//   sv_verify programs BIN...       run each program binary with
+//                                   SRM_SV_SELFCHECK=1 and require a clean
+//                                   self-check (static verify + cross-rank
+//                                   alignment + skeleton match, in-process)
+//   sv_verify all BIN...            both
+//
+// Exit status: 0 when everything passed, 1 otherwise. The program binaries
+// carry their own skeleton declarations (examples/) or build their
+// expected fragments from the canned timing loops (bench/ harness), so
+// this driver only needs to spawn them and collect exit codes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sv/gauntlet.hpp"
+
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
+namespace {
+
+int run_gauntlet_cli() {
+  std::vector<srm::sv::MutantResult> results = srm::sv::run_gauntlet();
+  int failed = 0;
+  for (const srm::sv::MutantResult& r : results) {
+    const char* verdict = r.pass ? "PASS" : "FAIL";
+    if (r.expect_kind.empty()) {
+      std::printf("[%s] %-28s expect ok, got %s\n", verdict, r.name.c_str(),
+                  r.got.ok ? "ok" : r.got.kind.c_str());
+    } else {
+      std::printf("[%s] %-28s expect %s%s%s, got %s%s%s\n", verdict,
+                  r.name.c_str(), r.expect_kind.c_str(),
+                  r.expect_field.empty() ? "" : "/",
+                  r.expect_field.c_str(),
+                  r.got.ok ? "ok" : r.got.kind.c_str(),
+                  r.got.field.empty() ? "" : "/", r.got.field.c_str());
+    }
+    if (!r.pass) {
+      ++failed;
+      if (!r.got.ok)
+        std::printf("       diagnostic: %s\n", r.got.to_string().c_str());
+    }
+  }
+  std::printf("gauntlet: %zu mutants, %d failed\n", results.size(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
+int run_programs_cli(const std::vector<std::string>& bins) {
+  if (bins.empty()) {
+    std::fprintf(stderr, "sv_verify: no program binaries given\n");
+    return 2;
+  }
+  // Children inherit the armed self-check through the environment.
+  setenv("SRM_SV_SELFCHECK", "1", 1);
+  int failed = 0;
+  for (const std::string& bin : bins) {
+    std::string cmd = "\"" + bin + "\" >/dev/null";
+    int status = std::system(cmd.c_str());  // NOLINT(concurrency-mt-unsafe)
+    int code = -1;
+#ifdef __unix__
+    if (status != -1 && WIFEXITED(status)) code = WEXITSTATUS(status);
+#else
+    code = status;
+#endif
+    std::printf("[%s] %s (exit %d)\n", code == 0 ? "PASS" : "FAIL",
+                bin.c_str(), code);
+    if (code != 0) ++failed;
+  }
+  std::printf("programs: %zu binaries, %d failed\n", bins.size(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = argc > 1 ? argv[1] : "gauntlet";
+  std::vector<std::string> bins;
+  for (int i = 2; i < argc; ++i) bins.emplace_back(argv[i]);
+
+  if (mode == "gauntlet") return run_gauntlet_cli();
+  if (mode == "programs") return run_programs_cli(bins);
+  if (mode == "all") {
+    int rc = run_gauntlet_cli();
+    int rc2 = run_programs_cli(bins);
+    return rc != 0 || rc2 != 0 ? 1 : 0;
+  }
+  std::fprintf(stderr,
+               "usage: sv_verify gauntlet | sv_verify programs BIN... | "
+               "sv_verify all BIN...\n");
+  return 2;
+}

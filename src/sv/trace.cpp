@@ -1,0 +1,210 @@
+#include "sv/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace srm::sv {
+
+void Recorder::on_call(int rank, int nranks, const CallSig& sig) {
+  if (seqs_.size() < static_cast<std::size_t>(nranks))
+    seqs_.resize(static_cast<std::size_t>(nranks));
+  seqs_[static_cast<std::size_t>(rank)].push_back(sig);
+}
+
+namespace {
+
+std::vector<SigPat> lift(const std::vector<CallSig>& seq) {
+  std::vector<SigPat> out;
+  out.reserve(seq.size());
+  for (const CallSig& s : seq) out.push_back(pat(s));
+  return out;
+}
+
+std::string sig_at(const std::vector<CallSig>& s, std::size_t i) {
+  if (i < s.size()) return s[i].to_string();
+  return "(end of sequence)";
+}
+
+}  // namespace
+
+Diag align_ranks(const std::vector<std::vector<CallSig>>& by_rank) {
+  Diag d;
+  d.program = "trace";
+  if (by_rank.empty()) return d;
+
+  // Majority vote on the whole sequence: group ranks by identical
+  // sequences, take the largest group (lowest-rank member breaks ties) as
+  // the reference, and diff the lowest dissenting rank against it.
+  std::vector<int> group(by_rank.size(), -1);
+  std::vector<std::size_t> group_size;
+  std::vector<std::size_t> group_rep;  // lowest rank with this sequence
+  for (std::size_t r = 0; r < by_rank.size(); ++r) {
+    for (std::size_t g = 0; g < group_rep.size(); ++g) {
+      if (by_rank[r] == by_rank[group_rep[g]]) {
+        group[r] = static_cast<int>(g);
+        ++group_size[g];
+        break;
+      }
+    }
+    if (group[r] < 0) {
+      group[r] = static_cast<int>(group_rep.size());
+      group_rep.push_back(r);
+      group_size.push_back(1);
+    }
+  }
+  if (group_rep.size() == 1) return d;  // all ranks agree
+
+  std::size_t best = 0;
+  for (std::size_t g = 1; g < group_rep.size(); ++g)
+    if (group_size[g] > group_size[best]) best = g;
+
+  const std::vector<CallSig>& ref = by_rank[group_rep[best]];
+  std::size_t dissent = 0;
+  while (group[dissent] == static_cast<int>(best)) ++dissent;
+  const std::vector<CallSig>& got = by_rank[dissent];
+
+  SeqDiff diff = seq_diff(lift(ref), lift(got));
+  d.ok = false;
+  d.rank = static_cast<int>(dissent);
+  d.index = diff.index;
+  d.field = diff.field;
+  std::ostringstream os;
+  os << "rank " << dissent << " diverges from the majority ("
+     << group_size[best] << "/" << by_rank.size() << " ranks) at call #"
+     << diff.index << ": ";
+  switch (diff.kind) {
+    case SeqDiff::Kind::field:
+      d.kind = "trace-mismatch";
+      os << "expected " << sig_at(ref, diff.index) << ", issued "
+         << sig_at(got, diff.index) << " (field " << diff.field << ")";
+      break;
+    case SeqDiff::Kind::extra_b:
+      d.kind = "trace-extra";
+      os << "issued an extra " << sig_at(got, diff.index)
+         << " the other ranks do not";
+      break;
+    case SeqDiff::Kind::extra_a:
+      d.kind = "trace-skip";
+      os << "skipped the " << sig_at(ref, diff.index)
+         << " the other ranks issued";
+      break;
+    case SeqDiff::Kind::reorder:
+      d.kind = "trace-reorder";
+      os << "issued " << sig_at(ref, diff.index) << " and "
+         << sig_at(ref, diff.index + 1) << " in the opposite order";
+      break;
+    case SeqDiff::Kind::length:
+      d.kind = "trace-length";
+      os << "issued " << got.size() << " collectives, majority issued "
+         << ref.size();
+      break;
+    case SeqDiff::Kind::equal:
+      break;
+  }
+  d.detail = os.str();
+  return d;
+}
+
+namespace {
+
+// Backtracking matcher: the set of sequence positions reachable after
+// consuming `n` starting from each position in `from`. Tracks the deepest
+// point any attempt reached and the pattern expected there, so a failed
+// match is reported where it got furthest.
+struct MatchState {
+  const std::vector<CallSig>* seq;
+  std::size_t deepest = 0;
+  SigPat expected;
+  bool has_expected = false;
+};
+
+std::set<std::size_t> match(const Node& n, const std::set<std::size_t>& from,
+                            MatchState& st) {
+  std::set<std::size_t> out;
+  switch (n.kind) {
+    case Node::Kind::call:
+      for (std::size_t p : from) {
+        if (p < st.seq->size() && pat_matches(n.sig, (*st.seq)[p])) {
+          out.insert(p + 1);
+        } else if (p >= st.deepest) {
+          st.deepest = p;
+          st.expected = n.sig;
+          st.has_expected = true;
+        }
+      }
+      return out;
+    case Node::Kind::seq: {
+      std::set<std::size_t> cur = from;
+      for (const Node& k : n.kids) {
+        cur = match(k, cur, st);
+        if (cur.empty()) break;
+      }
+      return cur;
+    }
+    case Node::Kind::branch: {
+      // A concrete trace took one arm; accept either.
+      out = match(n.kids[0], from, st);
+      std::set<std::size_t> alt = match(n.kids[1], from, st);
+      out.insert(alt.begin(), alt.end());
+      return out;
+    }
+    case Node::Kind::loop: {
+      if (!n.rank_trip && n.trip != kAnyTrip) {
+        std::set<std::size_t> cur = from;
+        for (int t = 0; t < n.trip && !cur.empty(); ++t)
+          cur = match(n.kids[0], cur, st);
+        return cur;
+      }
+      // Unknown trip count: zero or more repetitions (fixpoint).
+      out = from;
+      std::set<std::size_t> frontier = from;
+      while (!frontier.empty()) {
+        std::set<std::size_t> next = match(n.kids[0], frontier, st);
+        frontier.clear();
+        for (std::size_t p : next)
+          if (out.insert(p).second) frontier.insert(p);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Diag match_skeleton(const Skeleton& sk, const std::vector<CallSig>& seq) {
+  Diag d;
+  d.program = sk.program;
+  MatchState st{&seq, 0, SigPat{}, false};
+  std::set<std::size_t> ends = match(sk.root, {0}, st);
+  if (ends.count(seq.size()) > 0) return d;
+
+  d.ok = false;
+  d.kind = "skeleton-mismatch";
+  std::ostringstream os;
+  if (!ends.empty() && *ends.rbegin() >= st.deepest) {
+    // The skeleton was fully consumed but the trace kept going.
+    std::size_t at = *ends.rbegin();
+    d.index = at;
+    os << "recorded sequence does not fit the declared skeleton: "
+       << "unexpected trailing " << sig_at(seq, at) << " at call #" << at;
+  } else {
+    d.index = st.deepest;
+    os << "recorded sequence does not fit the declared skeleton: ";
+    if (st.has_expected) {
+      os << "expected " << st.expected.to_string() << ", ";
+      if (auto f = first_mismatch(st.expected,
+                                  st.deepest < seq.size()
+                                      ? pat(seq[st.deepest])
+                                      : SigPat{})) {
+        if (st.deepest < seq.size()) d.field = field_name(*f);
+      }
+    }
+    os << "got " << sig_at(seq, st.deepest) << " at call #" << st.deepest;
+  }
+  d.detail = os.str();
+  return d;
+}
+
+}  // namespace srm::sv

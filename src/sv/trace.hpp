@@ -1,0 +1,45 @@
+// sv::trace — the trace-prefix cross-validator: a recording shim at the
+// coll::Collectives NVI boundary plus two checks over the recorded
+// signature streams.
+//
+// Recorder implements coll::TraceSink and captures each rank's concrete
+// CallSig sequence during a run. align_ranks() lockstep-aligns the per-rank
+// sequences and localizes the first cross-rank divergence (which rank, at
+// which call index, on which signature field). match_skeleton() replays one
+// rank's recorded sequence against the program's declared skeleton —
+// treating unknown-trip loops as any-repetition and branches as
+// alternation — so a skeleton that no longer describes the code is caught
+// the next time the program runs with SRM_SV_SELFCHECK=1.
+#pragma once
+
+#include <vector>
+
+#include "coll/sig.hpp"
+#include "sv/verify.hpp"
+
+namespace srm::sv {
+
+/// Per-rank signature recorder; install with
+/// `collectives.set_trace_sink(&rec)`.
+class Recorder final : public coll::TraceSink {
+ public:
+  void on_call(int rank, int nranks, const CallSig& sig) override;
+
+  const std::vector<std::vector<CallSig>>& by_rank() const { return seqs_; }
+  bool empty() const { return seqs_.empty(); }
+  void clear() { seqs_.clear(); }
+
+ private:
+  std::vector<std::vector<CallSig>> seqs_;
+};
+
+/// Lockstep-align the per-rank sequences: the majority sequence is the
+/// reference, and the first dissenting rank's divergence is classified
+/// (trace-mismatch / trace-extra / trace-skip / trace-reorder /
+/// trace-length) with rank, call index, and field.
+Diag align_ranks(const std::vector<std::vector<CallSig>>& by_rank);
+
+/// Check one rank's recorded sequence against the declared skeleton.
+Diag match_skeleton(const Skeleton& sk, const std::vector<CallSig>& seq);
+
+}  // namespace srm::sv

@@ -1,0 +1,252 @@
+#include "sv/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace srm::sv {
+
+std::string Diag::to_string() const {
+  if (ok) return "[sv] " + program + ": ok";
+  std::ostringstream os;
+  os << "[sv] " << program << ": " << kind;
+  if (!where.empty()) os << " at " << where;
+  os << " (call #" << index;
+  if (rank >= 0) os << ", rank " << rank;
+  if (!field.empty()) os << ", field " << field;
+  os << "): " << detail;
+  return os.str();
+}
+
+namespace {
+
+bool seq_compatible(const std::vector<SigPat>& a, std::size_t ai,
+                    const std::vector<SigPat>& b, std::size_t bi) {
+  if (a.size() - ai != b.size() - bi) return false;
+  for (; ai < a.size(); ++ai, ++bi)
+    if (!pat_compatible(a[ai], b[bi])) return false;
+  return true;
+}
+
+}  // namespace
+
+SeqDiff seq_diff(const std::vector<SigPat>& a, const std::vector<SigPat>& b) {
+  std::size_t i = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  while (i < n && pat_compatible(a[i], b[i])) ++i;
+
+  SeqDiff d;
+  d.index = i;
+  if (i == a.size() && i == b.size()) return d;  // equal
+
+  // One side ran out: a single trailing extra is the "extra" class, more
+  // than one is a plain length divergence.
+  if (i == a.size() || i == b.size()) {
+    if (a.size() == b.size() + 1) {
+      d.kind = SeqDiff::Kind::extra_a;
+    } else if (b.size() == a.size() + 1) {
+      d.kind = SeqDiff::Kind::extra_b;
+    } else {
+      d.kind = SeqDiff::Kind::length;
+    }
+    return d;
+  }
+
+  // Both sides have a call at i that disagrees. Prefer the structural
+  // explanations (swap, single insertion) over a field mismatch when the
+  // rest of the sequences line up — that is what a seeded reorder/extra
+  // mutant looks like.
+  if (i + 1 < a.size() && i + 1 < b.size() &&
+      pat_compatible(a[i], b[i + 1]) && pat_compatible(a[i + 1], b[i]) &&
+      seq_compatible(a, i + 2, b, i + 2)) {
+    d.kind = SeqDiff::Kind::reorder;
+    return d;
+  }
+  if (seq_compatible(a, i, b, i + 1)) {
+    d.kind = SeqDiff::Kind::extra_b;
+    return d;
+  }
+  if (seq_compatible(a, i + 1, b, i)) {
+    d.kind = SeqDiff::Kind::extra_a;
+    return d;
+  }
+  d.kind = SeqDiff::Kind::field;
+  if (auto f = first_mismatch(a[i], b[i])) d.field = field_name(*f);
+  return d;
+}
+
+namespace {
+
+// Flattening a node inside a rank-dependent branch arm: the arm's call
+// sequence must be statically enumerable, or the arm is unprovable.
+struct Flat {
+  bool ok = true;
+  std::vector<SigPat> calls;
+  std::string why;    // when !ok: what made the arm unprovable
+  std::string where;  // anchor of the offending inner node
+};
+
+Flat flatten(const Node& n) {
+  Flat out;
+  switch (n.kind) {
+    case Node::Kind::call:
+      out.calls.push_back(n.sig);
+      return out;
+    case Node::Kind::seq:
+      for (const Node& k : n.kids) {
+        Flat f = flatten(k);
+        if (!f.ok) return f;
+        out.calls.insert(out.calls.end(), f.calls.begin(), f.calls.end());
+      }
+      return out;
+    case Node::Kind::loop: {
+      Flat body = flatten(n.kids[0]);
+      if (!body.ok) return body;
+      if (body.calls.empty()) return out;
+      if (n.rank_trip || n.trip == kAnyTrip) {
+        out.ok = false;
+        out.why = n.rank_trip
+                      ? "loop trip count depends on the rank"
+                      : "loop trip count is not statically known";
+        out.where = n.where;
+        return out;
+      }
+      for (int t = 0; t < n.trip; ++t)
+        out.calls.insert(out.calls.end(), body.calls.begin(),
+                         body.calls.end());
+      return out;
+    }
+    case Node::Kind::branch: {
+      // Inside a rank arm even a uniform sub-branch must have arms that
+      // flatten to the same sequence, or the enclosing comparison is
+      // unprovable.
+      Flat then_f = flatten(n.kids[0]);
+      if (!then_f.ok) return then_f;
+      Flat else_f = flatten(n.kids[1]);
+      if (!else_f.ok) return else_f;
+      SeqDiff d = seq_diff(then_f.calls, else_f.calls);
+      if (d.kind != SeqDiff::Kind::equal) {
+        out.ok = false;
+        out.why = "nested branch arms issue different sequences";
+        out.where = n.where;
+        return out;
+      }
+      return then_f;
+    }
+  }
+  return out;
+}
+
+const char* arm_kind(SeqDiff::Kind k) {
+  switch (k) {
+    case SeqDiff::Kind::field: return "arm-mismatch";
+    case SeqDiff::Kind::extra_a:
+    case SeqDiff::Kind::extra_b: return "arm-extra";
+    case SeqDiff::Kind::reorder: return "arm-reorder";
+    case SeqDiff::Kind::length: return "arm-length";
+    case SeqDiff::Kind::equal: break;
+  }
+  return "";
+}
+
+std::string call_at(const std::vector<SigPat>& s, std::size_t i) {
+  if (i < s.size()) return s[i].to_string();
+  return "(end of sequence)";
+}
+
+// Recursive static check; fills d and returns false on the first error.
+bool walk(const Node& n, Diag& d) {
+  switch (n.kind) {
+    case Node::Kind::call:
+      return true;
+    case Node::Kind::seq:
+      for (const Node& k : n.kids)
+        if (!walk(k, d)) return false;
+      return true;
+    case Node::Kind::loop: {
+      if (n.rank_trip) {
+        Flat body = flatten(n.kids[0]);
+        if (!body.ok || !body.calls.empty()) {
+          d.ok = false;
+          d.kind = "rank-loop";
+          d.where = n.where;
+          d.detail =
+              "loop trip count depends on the rank and the body issues "
+              "collectives — ranks fall out of lockstep";
+          return false;
+        }
+        return true;
+      }
+      return walk(n.kids[0], d);
+    }
+    case Node::Kind::branch: {
+      if (!n.rank_pred) {
+        // Uniform predicate: every rank takes the same arm; each arm is
+        // checked on its own.
+        return walk(n.kids[0], d) && walk(n.kids[1], d);
+      }
+      Flat then_f = flatten(n.kids[0]);
+      Flat else_f = flatten(n.kids[1]);
+      if (!then_f.ok || !else_f.ok) {
+        const Flat& bad = then_f.ok ? else_f : then_f;
+        d.ok = false;
+        d.kind = "arm-unprovable";
+        d.where = bad.where.empty() ? n.where : bad.where;
+        d.detail = "inside rank-dependent branch at " + n.where + ": " +
+                   bad.why;
+        return false;
+      }
+      SeqDiff diff = seq_diff(then_f.calls, else_f.calls);
+      if (diff.kind == SeqDiff::Kind::equal) return true;
+      d.ok = false;
+      d.kind = arm_kind(diff.kind);
+      d.where = n.where;
+      d.index = diff.index;
+      d.field = diff.field;
+      std::ostringstream os;
+      switch (diff.kind) {
+        case SeqDiff::Kind::field:
+          os << "rank-divergent arms disagree on " << diff.field
+             << " at call #" << diff.index << ": then-arm issues "
+             << call_at(then_f.calls, diff.index) << ", else-arm issues "
+             << call_at(else_f.calls, diff.index);
+          break;
+        case SeqDiff::Kind::extra_a:
+          os << "then-arm issues an extra "
+             << call_at(then_f.calls, diff.index) << " at call #"
+             << diff.index << " that the else-arm skips";
+          break;
+        case SeqDiff::Kind::extra_b:
+          os << "else-arm issues an extra "
+             << call_at(else_f.calls, diff.index) << " at call #"
+             << diff.index << " that the then-arm skips";
+          break;
+        case SeqDiff::Kind::reorder:
+          os << "arms issue " << call_at(then_f.calls, diff.index) << " and "
+             << call_at(then_f.calls, diff.index + 1)
+             << " in opposite orders starting at call #" << diff.index;
+          break;
+        case SeqDiff::Kind::length:
+          os << "arms issue different numbers of collectives ("
+             << then_f.calls.size() << " vs " << else_f.calls.size()
+             << "), diverging at call #" << diff.index;
+          break;
+        case SeqDiff::Kind::equal:
+          break;
+      }
+      d.detail = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Diag verify(const Skeleton& sk) {
+  Diag d;
+  d.program = sk.program;
+  walk(sk.root, d);
+  return d;
+}
+
+}  // namespace srm::sv

@@ -1,0 +1,70 @@
+// sv::verify — the path-sensitive static matching pass over a comm
+// skeleton, plus the sequence-diff classifier shared with the trace layer.
+//
+// verify() proves that every rank-feasible path through a skeleton issues
+// the identical collective sequence, or pinpoints the divergent
+// conditional/loop (`where`) and the first mismatched signature field.
+// The rules are PARCOACH's, over the IR instead of a compiler CFG:
+//  * a rank-dependent branch must have arms that flatten to compatible
+//    call sequences (uniform branches may differ — every rank agrees on
+//    the arm);
+//  * a loop whose trip count depends on the rank must not issue
+//    collectives in its body;
+//  * inside a rank-dependent branch, loops must have a known trip count
+//    (an unknown-trip loop that issues collectives makes the arm's
+//    sequence unprovable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sv/ir.hpp"
+
+namespace srm::sv {
+
+/// One verification outcome: ok, or a localized diagnostic.
+///
+/// `kind` values:
+///   static layer: "rank-loop", "arm-mismatch", "arm-extra", "arm-reorder",
+///                 "arm-length", "arm-unprovable"
+///   trace layer (sv/trace.hpp): "trace-mismatch", "trace-extra",
+///                 "trace-skip", "trace-reorder", "trace-length",
+///                 "skeleton-mismatch", "trace-empty"
+struct Diag {
+  bool ok = true;
+  std::string program;
+  std::string kind;       ///< divergence class (empty when ok)
+  std::string where;      ///< anchor of the divergent conditional/loop
+  std::string field;      ///< first mismatched signature field, if any
+  std::size_t index = 0;  ///< call index where divergence was localized
+  int rank = -1;          ///< trace layer: the dissenting rank
+  std::string detail;     ///< full human-readable explanation
+
+  std::string to_string() const;
+};
+
+/// Classification of the first divergence between two call sequences.
+struct SeqDiff {
+  enum class Kind : std::uint8_t {
+    equal,
+    field,    ///< signatures at `index` differ on `field`
+    extra_a,  ///< a has an extra call at `index` (b skips it)
+    extra_b,  ///< b has an extra call at `index`
+    reorder,  ///< calls at `index` and `index`+1 are swapped
+    length,   ///< sequences diverge in length beyond a single extra call
+  };
+  Kind kind = Kind::equal;
+  std::size_t index = 0;
+  std::string field;  ///< set for Kind::field
+};
+
+/// Compare two call sequences position by position (wildcards unify) and
+/// classify the first divergence.
+SeqDiff seq_diff(const std::vector<SigPat>& a, const std::vector<SigPat>& b);
+
+/// Statically verify one skeleton.
+Diag verify(const Skeleton& sk);
+
+}  // namespace srm::sv

@@ -1,0 +1,186 @@
+// coll::ValidationError coverage at the Collectives NVI boundary: every
+// argument-validation path must throw the structured error — carrying the
+// op, the offending rank, and the offending field — identically on both
+// backends (srm::Communicator and minimpi::World), and must keep working
+// through the legacy util::CheckError catch.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "core/communicator.hpp"
+#include "mpi/comm.hpp"
+
+namespace srm {
+namespace {
+
+using machine::Cluster;
+using machine::ClusterConfig;
+using machine::TaskCtx;
+using sim::CoTask;
+
+constexpr int kRanks = 4;
+
+ClusterConfig shape() {
+  ClusterConfig c;
+  c.nodes = 1;
+  c.tasks_per_node = kRanks;
+  return c;
+}
+
+using Body = std::function<CoTask(TaskCtx&, coll::Collectives&)>;
+
+// Runs `body` on both backends and checks the structured error fields.
+void expect_validation_error(coll::CollKind op, const std::string& field,
+                             const Body& body) {
+  auto check = [&](Cluster& cluster, coll::Collectives& impl,
+                   const char* backend) {
+    try {
+      cluster.run([&](TaskCtx& t) -> CoTask { co_await body(t, impl); });
+      ADD_FAILURE() << backend << ": no ValidationError thrown";
+    } catch (const coll::ValidationError& e) {
+      EXPECT_EQ(e.op(), op) << backend;
+      EXPECT_EQ(e.field(), field) << backend;
+      EXPECT_GE(e.rank(), 0) << backend;
+      EXPECT_LT(e.rank(), kRanks) << backend;
+      // The message names the op and the rank.
+      std::string msg = e.what();
+      EXPECT_NE(msg.find(coll::coll_name(op)), std::string::npos) << msg;
+      EXPECT_NE(msg.find("rank"), std::string::npos) << msg;
+    }
+  };
+  {
+    Cluster cluster(shape());
+    lapi::Fabric fabric(cluster);
+    Communicator comm(cluster, fabric);
+    check(cluster, comm, "srm");
+  }
+  {
+    Cluster cluster(shape());
+    minimpi::World world(cluster, cluster.params().mpi_ibm, "val");
+    check(cluster, world, "mpi");
+  }
+}
+
+TEST(CollValidate, RootOutOfRange) {
+  expect_validation_error(
+      coll::CollKind::bcast, "root",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        char buf[8] = {};
+        co_await c.bcast(t, coll::Buf::bytes(buf, sizeof buf), kRanks);
+      });
+  expect_validation_error(
+      coll::CollKind::gather, "root",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        double x[2] = {};
+        std::vector<double> out(2 * kRanks);
+        co_await c.gather(t, coll::of(x, 2), coll::of(out.data(), 2), -1);
+      });
+}
+
+TEST(CollValidate, SendRecvDtypeMismatch) {
+  expect_validation_error(
+      coll::CollKind::allreduce, "dtype",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        double in[4] = {};
+        float out[4] = {};
+        co_await c.allreduce(t, coll::of(in, 4), coll::of(out, 4),
+                             coll::RedOp::sum);
+      });
+}
+
+TEST(CollValidate, SendRecvCountMismatch) {
+  expect_validation_error(
+      coll::CollKind::allreduce, "count",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        double in[5] = {}, out[5] = {};
+        co_await c.allreduce(t, coll::of(in, 4), coll::of(out, 5),
+                             coll::RedOp::sum);
+      });
+}
+
+TEST(CollValidate, ByteTypedReductionRejected) {
+  expect_validation_error(
+      coll::CollKind::allreduce, "numeric",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        char in[8] = {}, out[8] = {};
+        co_await c.allreduce(t, coll::Buf::bytes(in, 8),
+                             coll::Buf::bytes(out, 8), coll::RedOp::sum);
+      });
+}
+
+TEST(CollValidate, RealSymbolicModeMix) {
+  expect_validation_error(
+      coll::CollKind::allreduce, "mode",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        double in[4] = {};
+        coll::Payload pay(1, 4 * sizeof(double));
+        co_await c.allreduce(t, coll::of(in, 4),
+                             coll::Buf::symbolic(pay, coll::Dtype::f64, 4),
+                             coll::RedOp::sum);
+      });
+}
+
+TEST(CollValidate, NullRealData) {
+  expect_validation_error(
+      coll::CollKind::bcast, "data",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        co_await c.bcast(t, coll::Buf::bytes(static_cast<void*>(nullptr), 16),
+                         0);
+      });
+}
+
+TEST(CollValidate, SymbolicBlockBytesDisagree) {
+  expect_validation_error(
+      coll::CollKind::bcast, "block_bytes",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        // Payload models 16-byte blocks; the Buf describes one f64 (8).
+        coll::Payload pay(1, 16);
+        co_await c.bcast(t, coll::Buf::symbolic(pay, coll::Dtype::f64, 1), 0);
+      });
+}
+
+TEST(CollValidate, SymbolicBlockSpanOverflow) {
+  expect_validation_error(
+      coll::CollKind::bcast, "blocks",
+      [](TaskCtx& t, coll::Collectives& c) -> CoTask {
+        // One-block payload, but the Buf starts at block 1.
+        coll::Payload pay(1, 8);
+        co_await c.bcast(
+            t, coll::Buf::symbolic(pay, coll::Dtype::f64, 1, /*block0=*/1),
+            0);
+      });
+}
+
+TEST(CollValidate, LegacyCheckErrorCatchStillWorks) {
+  Cluster cluster(shape());
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  char buf[8] = {};
+  EXPECT_THROW(cluster.run([&](TaskCtx& t) -> CoTask {
+    co_await comm.bcast(t, coll::Buf::bytes(buf, sizeof buf), 99);
+  }),
+               util::CheckError);
+}
+
+TEST(CollValidate, RecvOnlySignificantAtRoot) {
+  // Non-root ranks may pass an empty recv descriptor to rooted ops; only
+  // the root's recv side is validated (and used).
+  Cluster cluster(shape());
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  std::vector<double> gathered(2 * kRanks, 0.0);
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    double mine[2] = {t.rank + 0.5, t.rank + 1.5};
+    co_await comm.gather(
+        t, coll::of(mine, 2),
+        t.rank == 0 ? coll::of(gathered.data(), 2) : coll::Buf{}, 0);
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(gathered[2 * static_cast<std::size_t>(r)], r + 0.5);
+    EXPECT_EQ(gathered[2 * static_cast<std::size_t>(r) + 1], r + 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace srm

@@ -251,6 +251,29 @@ TEST(ObsSpan, RecordsVirtualTimesAndNesting) {
   EXPECT_LE(i.end, o.end);
 }
 
+TEST(ObsSpan, ArgsAreStoredAndExported) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  sim::Engine eng;
+  obs::Registry reg(eng);
+  reg.set_trace_enabled(true);
+  std::size_t with_args = reg.span_begin(
+      0, "coll.bcast", R"({"op":"bcast","dtype":"byte","count":64})");
+  std::size_t without = reg.span_begin(1, "srm.bcast");
+  reg.span_end(with_args);
+  reg.span_end(without);
+  ASSERT_EQ(reg.spans().size(), 2u);
+  EXPECT_EQ(reg.spans()[0].args,
+            R"({"op":"bcast","dtype":"byte","count":64})");
+  EXPECT_TRUE(reg.spans()[1].args.empty());
+  // The exporter embeds the pre-rendered args object verbatim and the
+  // result must still parse; args-less spans carry no "args" key.
+  std::string trace = reg.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
+  EXPECT_NE(trace.find("\"args\":{\"op\":\"bcast\""), std::string::npos)
+      << trace;
+  EXPECT_EQ(trace.find("\"args\":{}"), std::string::npos) << trace;
+}
+
 TEST(ObsSpan, RaiiSpanClosesOnScopeExit) {
   if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
   sim::Engine eng;
@@ -358,6 +381,41 @@ TEST(ObsIntegration, BroadcastLeavesSpansAndCounters) {
   // Clearing and re-running must not double-report.
   cluster.obs().clear_spans();
   EXPECT_TRUE(cluster.obs().spans().empty());
+}
+
+TEST(ObsIntegration, CollectiveSpansCarrySignatureArgs) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  ClusterConfig cc;
+  cc.nodes = 1;
+  cc.tasks_per_node = 4;
+  Cluster cluster(cc);
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  cluster.obs().set_trace_enabled(true);
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<char> buf(512, static_cast<char>(t.rank == 0));
+    co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
+    double in = 1.0, out = 0.0;
+    co_await comm.allreduce(t, coll::of(&in, 1), coll::of(&out, 1),
+                            coll::RedOp::sum);
+  });
+  // The NVI boundary wraps each rank's backend task in a "coll.<op>" span
+  // whose args carry the full call signature for cross-rank trace diffing.
+  int bcast_spans = 0, allreduce_spans = 0;
+  for (const auto& s : cluster.obs().spans()) {
+    if (s.name == "coll.bcast") {
+      ++bcast_spans;
+      EXPECT_NE(s.args.find("\"op\":\"bcast\""), std::string::npos) << s.args;
+      EXPECT_NE(s.args.find("\"count\":512"), std::string::npos) << s.args;
+      EXPECT_NE(s.args.find("\"root\":0"), std::string::npos) << s.args;
+    } else if (s.name == "coll.allreduce") {
+      ++allreduce_spans;
+      EXPECT_NE(s.args.find("\"red\":\"sum\""), std::string::npos) << s.args;
+    }
+  }
+  EXPECT_EQ(bcast_spans, 4);  // one per rank
+  EXPECT_EQ(allreduce_spans, 4);
+  EXPECT_TRUE(JsonChecker(cluster.obs().chrome_trace_json()).valid());
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+// The seeded-mismatch mutation gauntlet as a unit test: every planted bug
+// must be flagged with its exact diagnostic class (and field, where one
+// applies), and the clean controls must stay clean — the gauntlet is the
+// regression net over the verifier's diagnostic quality.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sv/gauntlet.hpp"
+
+namespace srm::sv {
+namespace {
+
+TEST(Gauntlet, EveryMutantProducesItsExactDiagnostic) {
+  auto results = run_gauntlet();
+  EXPECT_TRUE(gauntlet_ok(results));
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.pass) << r.name << ": expected kind '" << r.expect_kind
+                        << "' field '" << r.expect_field << "', got "
+                        << r.got.to_string();
+  }
+}
+
+TEST(Gauntlet, AtLeastTwelveSeededBugsAndTwoCleanControls) {
+  auto results = run_gauntlet();
+  int bugs = 0, controls = 0;
+  for (const auto& r : results) {
+    if (r.expect_kind.empty()) {
+      ++controls;
+      EXPECT_TRUE(r.got.ok) << r.name << " false positive: "
+                            << r.got.to_string();
+    } else {
+      ++bugs;
+      EXPECT_FALSE(r.got.ok) << r.name;
+      EXPECT_EQ(r.got.kind, r.expect_kind) << r.name;
+      if (!r.expect_field.empty()) {
+        EXPECT_EQ(r.got.field, r.expect_field) << r.name;
+      }
+      EXPECT_FALSE(r.got.detail.empty()) << r.name;
+    }
+  }
+  EXPECT_GE(bugs, 12);
+  EXPECT_GE(controls, 2);
+}
+
+TEST(Gauntlet, CoversBothLayersAndTheClassicBugClasses) {
+  auto results = run_gauntlet();
+  std::set<std::string> kinds;
+  for (const auto& r : results)
+    if (!r.expect_kind.empty()) kinds.insert(r.expect_kind);
+  // Static layer: divergent arms, skipped collective, reorder, rank loop.
+  EXPECT_TRUE(kinds.count("arm-mismatch"));
+  EXPECT_TRUE(kinds.count("arm-extra"));
+  EXPECT_TRUE(kinds.count("arm-reorder"));
+  EXPECT_TRUE(kinds.count("rank-loop"));
+  // Trace layer: cross-rank divergence in each flavor.
+  EXPECT_TRUE(kinds.count("trace-mismatch"));
+  EXPECT_TRUE(kinds.count("trace-skip"));
+  EXPECT_TRUE(kinds.count("trace-extra"));
+  EXPECT_TRUE(kinds.count("trace-reorder"));
+  // Declaration rot: the trace no longer fits the skeleton.
+  EXPECT_TRUE(kinds.count("skeleton-mismatch"));
+}
+
+TEST(Gauntlet, MutantNamesAreUniqueAndStable) {
+  auto results = run_gauntlet();
+  std::set<std::string> names;
+  for (const auto& r : results) {
+    EXPECT_TRUE(names.insert(r.name).second) << "duplicate " << r.name;
+  }
+  // Two specific anchors CI greps for.
+  EXPECT_TRUE(names.count("static-wrong-root-one-rank"));
+  EXPECT_TRUE(names.count("control-clean-trace"));
+}
+
+}  // namespace
+}  // namespace srm::sv

@@ -1,0 +1,156 @@
+// sv::ir unit tests: signature patterns (builders, wildcard unification,
+// barrier short-circuit, ground lifting from coll::CallSig), the
+// first_mismatch field order, and the structural node constructors.
+#include <gtest/gtest.h>
+
+#include "sv/ir.hpp"
+
+namespace srm::sv {
+namespace {
+
+TEST(SigPat, BuildersPinExpectedFields) {
+  SigPat b = sig_bcast(Dtype::f64, 32, 3);
+  EXPECT_EQ(b.op, CollKind::bcast);
+  EXPECT_EQ(b.dtype, Dtype::f64);
+  EXPECT_EQ(b.count, 32u);
+  EXPECT_EQ(b.root, 3);
+  EXPECT_EQ(b.red, coll::kNoRed);
+  EXPECT_EQ(b.plane, kAnyPlane);
+
+  SigPat r = sig_reduce(Dtype::f32, 8, RedOp::max, 1);
+  EXPECT_EQ(r.op, CollKind::reduce);
+  EXPECT_EQ(r.red, static_cast<int>(RedOp::max));
+  EXPECT_EQ(r.root, 1);
+
+  SigPat a = sig_allreduce(Dtype::i64, 4, RedOp::sum);
+  EXPECT_EQ(a.op, CollKind::allreduce);
+  EXPECT_EQ(a.root, coll::kNoRoot);
+
+  // Barrier pins the payload plane to none and carries no payload.
+  SigPat bar = sig_barrier();
+  EXPECT_EQ(bar.op, CollKind::barrier);
+  EXPECT_EQ(bar.count, 0u);
+  EXPECT_EQ(bar.plane, static_cast<int>(Plane::none));
+}
+
+TEST(SigPat, PlaneModifiers) {
+  SigPat p = sig_allgather(Dtype::kByte, 64);
+  EXPECT_EQ(p.plane, kAnyPlane);
+  EXPECT_EQ(real(p).plane, static_cast<int>(Plane::real));
+  EXPECT_EQ(symbolic(p).plane, static_cast<int>(Plane::symbolic));
+}
+
+TEST(SigPat, GroundLiftRoundTrips) {
+  CallSig s{CollKind::reduce, Dtype::f64, 128, 2,
+            static_cast<int>(RedOp::sum), Plane::real};
+  SigPat p = pat(s);
+  EXPECT_TRUE(pat_matches(p, s));
+  EXPECT_EQ(p.count, 128u);
+  EXPECT_EQ(p.plane, static_cast<int>(Plane::real));
+}
+
+TEST(SigPat, FirstMismatchReportsEarliestField) {
+  SigPat a = real(sig_reduce(Dtype::f64, 16, RedOp::sum, 0));
+  SigPat b = a;
+  EXPECT_EQ(first_mismatch(a, b), std::nullopt);
+
+  b = a;
+  b.op = CollKind::allreduce;
+  EXPECT_EQ(first_mismatch(a, b), SigField::op);
+
+  b = a;
+  b.dtype = Dtype::f32;
+  EXPECT_EQ(first_mismatch(a, b), SigField::dtype);
+
+  b = a;
+  b.count = 17;
+  EXPECT_EQ(first_mismatch(a, b), SigField::count);
+
+  b = a;
+  b.root = 1;
+  EXPECT_EQ(first_mismatch(a, b), SigField::root);
+
+  b = a;
+  b.red = static_cast<int>(RedOp::max);
+  EXPECT_EQ(first_mismatch(a, b), SigField::red);
+
+  b = a;
+  b.plane = static_cast<int>(Plane::symbolic);
+  EXPECT_EQ(first_mismatch(a, b), SigField::plane);
+
+  // Fields are reported in diagnostic order: op before dtype before count.
+  b = a;
+  b.dtype = Dtype::i32;
+  b.count = 99;
+  EXPECT_EQ(first_mismatch(a, b), SigField::dtype);
+}
+
+TEST(SigPat, WildcardsUnifyWithAnything) {
+  SigPat concrete = real(sig_bcast(Dtype::f64, 64, 5));
+  SigPat wild = concrete;
+  wild.count = kAnyCount;
+  wild.root = kAnyRoot;
+  wild.plane = kAnyPlane;
+  EXPECT_TRUE(pat_compatible(wild, concrete));
+  EXPECT_TRUE(pat_compatible(concrete, wild));
+
+  // A wildcard on one field does not excuse a mismatch on another.
+  SigPat other = concrete;
+  other.dtype = Dtype::i64;
+  EXPECT_EQ(first_mismatch(wild, other), SigField::dtype);
+}
+
+TEST(SigPat, BarriersAlwaysUnify) {
+  // Barrier carries no payload; two barriers unify even if stray payload
+  // fields differ (e.g. one side ground-lifted from a default CallSig).
+  SigPat a = sig_barrier();
+  SigPat b = sig_barrier();
+  b.count = 77;
+  b.dtype = Dtype::f64;
+  EXPECT_TRUE(pat_compatible(a, b));
+  // ...but a barrier never unifies with a payload op.
+  EXPECT_EQ(first_mismatch(a, sig_bcast(Dtype::kByte, 1, 0)), SigField::op);
+}
+
+TEST(SigPat, ToStringRendersWildcardsAsStar) {
+  SigPat p = sig_bcast(Dtype::f64, 64, 0);
+  p.count = kAnyCount;
+  std::string s = p.to_string();
+  EXPECT_NE(s.find("bcast"), std::string::npos) << s;
+  EXPECT_NE(s.find('*'), std::string::npos) << s;
+}
+
+TEST(Nodes, ConstructorsBuildExpectedShapes) {
+  Node c = call(sig_barrier());
+  EXPECT_EQ(c.kind, Node::Kind::call);
+
+  Node s = seq(call(sig_barrier()), call(sig_barrier()));
+  EXPECT_EQ(s.kind, Node::Kind::seq);
+  EXPECT_EQ(s.kids.size(), 2u);
+
+  Node bu = branch_uniform("if (converged)", call(sig_barrier()));
+  EXPECT_EQ(bu.kind, Node::Kind::branch);
+  EXPECT_FALSE(bu.rank_pred);
+  ASSERT_EQ(bu.kids.size(), 2u);  // then + implicit empty else
+  EXPECT_TRUE(bu.kids[1].kids.empty());
+
+  Node br = branch_rank("if (rank == 0)", call(sig_barrier()),
+                        call(sig_barrier()));
+  EXPECT_TRUE(br.rank_pred);
+  EXPECT_EQ(br.where, "if (rank == 0)");
+
+  Node l = loop(4, call(sig_barrier()));
+  EXPECT_EQ(l.kind, Node::Kind::loop);
+  EXPECT_EQ(l.trip, 4);
+  EXPECT_FALSE(l.rank_trip);
+
+  Node lu = loop_uniform("until done", call(sig_barrier()));
+  EXPECT_EQ(lu.trip, kAnyTrip);
+  EXPECT_FALSE(lu.rank_trip);
+
+  Node lr = loop_rank("for i < rank", call(sig_barrier()));
+  EXPECT_TRUE(lr.rank_trip);
+}
+
+}  // namespace
+}  // namespace srm::sv

@@ -1,0 +1,255 @@
+// sv trace-layer tests: the Recorder shim at the coll::Collectives NVI
+// boundary (on both the SRM and mini-MPI backends), cross-rank lockstep
+// alignment, trace-vs-skeleton replay, the SelfCheck harness, and the
+// Bench integration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/communicator.hpp"
+#include "mpi/comm.hpp"
+#include "sv/sv.hpp"
+
+namespace srm::sv {
+namespace {
+
+using machine::Cluster;
+using machine::ClusterConfig;
+using machine::TaskCtx;
+using sim::CoTask;
+
+ClusterConfig shape(int nodes, int ppn) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.tasks_per_node = ppn;
+  return c;
+}
+
+CallSig c_bcast(std::size_t n, int root) {
+  return {CollKind::bcast, Dtype::kByte, n, root, coll::kNoRed, Plane::real};
+}
+CallSig c_allreduce(std::size_t n) {
+  return {CollKind::allreduce, Dtype::f64, n, coll::kNoRoot,
+          static_cast<int>(RedOp::sum), Plane::real};
+}
+CallSig c_barrier() { return {}; }
+
+// The shared workload both backends run: bcast, allreduce, barrier.
+template <class Coll>
+void run_workload(Cluster& cluster, Coll& comm) {
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<char> buf(256, static_cast<char>(t.rank == 1));
+    co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 1);
+    double in = t.rank, out = 0;
+    co_await comm.allreduce(t, coll::of(&in, 1), coll::of(&out, 1),
+                            coll::RedOp::sum);
+    co_await comm.barrier(t);
+  });
+}
+
+void expect_workload_recorded(const Recorder& rec, int nranks) {
+  ASSERT_EQ(rec.by_rank().size(), static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const auto& seq = rec.by_rank()[static_cast<std::size_t>(r)];
+    ASSERT_EQ(seq.size(), 3u) << "rank " << r;
+    EXPECT_EQ(seq[0], c_bcast(256, 1)) << "rank " << r;
+    EXPECT_EQ(seq[1], c_allreduce(1)) << "rank " << r;
+    EXPECT_EQ(seq[2], c_barrier()) << "rank " << r;
+  }
+}
+
+TEST(Recorder, CapturesSignaturesOnSrmBackend) {
+  Cluster cluster(shape(2, 4));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  Recorder rec;
+  comm.set_trace_sink(&rec);
+  run_workload(cluster, comm);
+  comm.set_trace_sink(nullptr);
+  expect_workload_recorded(rec, 8);
+  EXPECT_TRUE(align_ranks(rec.by_rank()).ok);
+}
+
+TEST(Recorder, CapturesSignaturesOnMpiBackend) {
+  Cluster cluster(shape(2, 4));
+  minimpi::World world(cluster, cluster.params().mpi_ibm, "sv");
+  Recorder rec;
+  world.set_trace_sink(&rec);
+  run_workload(cluster, world);
+  world.set_trace_sink(nullptr);
+  expect_workload_recorded(rec, 8);
+}
+
+TEST(Recorder, DetachedSinkRecordsNothing) {
+  Cluster cluster(shape(1, 4));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  Recorder rec;
+  run_workload(cluster, comm);  // no sink installed
+  EXPECT_TRUE(rec.empty());
+}
+
+// ---- cross-rank alignment -----------------------------------------------
+
+std::vector<std::vector<CallSig>> uniform_traces(int nranks) {
+  std::vector<CallSig> base{c_bcast(64, 0), c_allreduce(8), c_barrier()};
+  return std::vector<std::vector<CallSig>>(
+      static_cast<std::size_t>(nranks), base);
+}
+
+TEST(AlignRanks, AgreementIsClean) {
+  EXPECT_TRUE(align_ranks(uniform_traces(6)).ok);
+  EXPECT_TRUE(align_ranks({}).ok);
+}
+
+TEST(AlignRanks, DissentingRankIsLocalizedByMajority) {
+  auto traces = uniform_traces(6);
+  traces[4][0].root = 3;  // rank 4 broadcasts from the wrong root
+  Diag d = align_ranks(traces);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "trace-mismatch");
+  EXPECT_EQ(d.rank, 4);
+  EXPECT_EQ(d.index, 0u);
+  EXPECT_EQ(d.field, "root");
+}
+
+TEST(AlignRanks, SkippedAndExtraCallsClassified) {
+  auto traces = uniform_traces(5);
+  traces[2].erase(traces[2].begin() + 1);  // rank 2 skips the allreduce
+  Diag d = align_ranks(traces);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "trace-skip");
+  EXPECT_EQ(d.rank, 2);
+  EXPECT_EQ(d.index, 1u);
+
+  traces = uniform_traces(5);
+  traces[0].insert(traces[0].begin(), c_barrier());  // rank 0 adds a barrier
+  d = align_ranks(traces);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "trace-extra");
+  EXPECT_EQ(d.rank, 0);
+}
+
+// ---- trace-vs-skeleton replay -------------------------------------------
+
+TEST(MatchSkeleton, LoopsAndBranchesReplay) {
+  Skeleton sk{"replay",
+              seq(loop_uniform("until converged", call(pat(c_allreduce(8)))),
+                  branch_uniform("if (root work)",
+                                 call(pat(c_bcast(64, 0)))),
+                  call(sig_barrier()))};
+  ASSERT_TRUE(verify(sk).ok);
+
+  // Zero loop reps, branch not taken.
+  EXPECT_TRUE(match_skeleton(sk, {c_barrier()}).ok);
+  // Three reps, branch taken.
+  EXPECT_TRUE(match_skeleton(
+                  sk, {c_allreduce(8), c_allreduce(8), c_allreduce(8),
+                       c_bcast(64, 0), c_barrier()})
+                  .ok);
+}
+
+TEST(MatchSkeleton, DriftedCountIsLocalizedWithField) {
+  Skeleton sk{"drift", seq(call(pat(c_bcast(64, 0))), call(sig_barrier()))};
+  Diag d = match_skeleton(sk, {c_bcast(128, 0), c_barrier()});
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "skeleton-mismatch");
+  EXPECT_EQ(d.index, 0u);
+  EXPECT_EQ(d.field, "count");
+}
+
+TEST(MatchSkeleton, TrailingCallIsReported) {
+  Skeleton sk{"trail", call(sig_barrier())};
+  Diag d = match_skeleton(sk, {c_barrier(), c_barrier()});
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "skeleton-mismatch");
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_NE(d.detail.find("trailing"), std::string::npos) << d.detail;
+}
+
+// ---- SelfCheck harness --------------------------------------------------
+
+Skeleton workload_skeleton(const char* name) {
+  return {name, seq(call(real(sig_bcast(Dtype::kByte, 256, 1))),
+                    call(real(sig_allreduce(Dtype::f64, 1, RedOp::sum))),
+                    call(sig_barrier()))};
+}
+
+TEST(SelfCheck, ArmedRunPassesOnBothBackends) {
+  {
+    Cluster cluster(shape(2, 4));
+    lapi::Fabric fabric(cluster);
+    Communicator comm(cluster, fabric);
+    SelfCheck sv(comm, workload_skeleton("srm-ok"), /*arm=*/true);
+    run_workload(cluster, comm);
+    EXPECT_EQ(sv.finish(), 0);
+  }
+  {
+    Cluster cluster(shape(2, 4));
+    minimpi::World world(cluster, cluster.params().mpi_ibm, "sv");
+    SelfCheck sv(world, workload_skeleton("mpi-ok"), /*arm=*/true);
+    run_workload(cluster, world);
+    EXPECT_EQ(sv.finish(), 0);
+  }
+}
+
+TEST(SelfCheck, StaleSkeletonIsCaught) {
+  Cluster cluster(shape(2, 4));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  // The declaration claims root 0; the program broadcasts from root 1.
+  Skeleton stale{"stale", seq(call(real(sig_bcast(Dtype::kByte, 256, 0))),
+                              call(real(sig_allreduce(Dtype::f64, 1,
+                                                      RedOp::sum))),
+                              call(sig_barrier()))};
+  SelfCheck sv(comm, stale, /*arm=*/true);
+  run_workload(cluster, comm);
+  EXPECT_EQ(sv.finish(), 1);
+}
+
+TEST(SelfCheck, BrokenSkeletonFailsStatically) {
+  Cluster cluster(shape(1, 2));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  Skeleton bad{"static-bad",
+               branch_rank("if (rank)", call(sig_barrier()), seq())};
+  SelfCheck sv(comm, bad, /*arm=*/true);
+  EXPECT_EQ(sv.finish(), 1);  // fails before any trace is recorded
+}
+
+TEST(SelfCheck, UnarmedIsANoOp) {
+  Cluster cluster(shape(1, 2));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric);
+  SelfCheck sv(comm, workload_skeleton("unarmed"), /*arm=*/false);
+  EXPECT_EQ(comm.trace_sink(), nullptr);
+  run_workload(cluster, comm);
+  EXPECT_EQ(sv.finish(), 0);
+  EXPECT_TRUE(sv.recorder().empty());
+}
+
+// ---- Bench integration --------------------------------------------------
+
+TEST(BenchSelfCheck, CannedOpsVerifyAgainstAccumulatedSkeleton) {
+  bench::Bench b(bench::Impl::srm, 2, 8);
+  b.force_selfcheck();
+  b.time_bcast(4096, 3);
+  b.time_allreduce(64, 3);
+  b.time_barrier(4);
+  EXPECT_EQ(b.sv_finish(), 0);
+}
+
+TEST(BenchSelfCheck, CustomBodyFallsBackToAlignmentOnly) {
+  bench::Bench b(bench::Impl::mpi_ibm, 2, 8);
+  b.force_selfcheck();
+  b.time_collective(
+      [](machine::TaskCtx& t, coll::Collectives& c) -> CoTask {
+        co_await c.barrier(t);
+      },
+      3, 1);
+  EXPECT_EQ(b.sv_finish(), 0);
+}
+
+}  // namespace
+}  // namespace srm::sv

@@ -1,0 +1,204 @@
+// sv::verify unit tests: the seq_diff divergence classifier and the
+// path-sensitive static pass — clean skeletons stay clean, and every
+// PARCOACH-style rule localizes its divergent conditional/loop and the
+// first mismatched signature field.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sv/verify.hpp"
+
+namespace srm::sv {
+namespace {
+
+std::vector<SigPat> three_calls() {
+  return {real(sig_bcast(Dtype::kByte, 64, 0)),
+          real(sig_allreduce(Dtype::f64, 8, RedOp::sum)), sig_barrier()};
+}
+
+TEST(SeqDiff, EqualAndFieldClassification) {
+  auto a = three_calls();
+  EXPECT_EQ(seq_diff(a, a).kind, SeqDiff::Kind::equal);
+
+  auto b = a;
+  b[1].red = static_cast<int>(RedOp::max);
+  SeqDiff d = seq_diff(a, b);
+  EXPECT_EQ(d.kind, SeqDiff::Kind::field);
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_EQ(d.field, "red");
+}
+
+TEST(SeqDiff, SingleInsertionIsExtraNotField) {
+  auto a = three_calls();
+  auto b = a;
+  b.insert(b.begin() + 1, sig_barrier());
+  SeqDiff d = seq_diff(a, b);
+  EXPECT_EQ(d.kind, SeqDiff::Kind::extra_b);
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_EQ(seq_diff(b, a).kind, SeqDiff::Kind::extra_a);
+}
+
+TEST(SeqDiff, TrailingExtraAndLength) {
+  auto a = three_calls();
+  auto b = a;
+  b.pop_back();
+  EXPECT_EQ(seq_diff(a, b).kind, SeqDiff::Kind::extra_a);
+  EXPECT_EQ(seq_diff(b, a).kind, SeqDiff::Kind::extra_b);
+  b.pop_back();  // now two calls short: plain length divergence
+  EXPECT_EQ(seq_diff(a, b).kind, SeqDiff::Kind::length);
+}
+
+TEST(SeqDiff, AdjacentSwapIsReorder) {
+  auto a = three_calls();
+  auto b = a;
+  std::swap(b[0], b[1]);
+  SeqDiff d = seq_diff(a, b);
+  EXPECT_EQ(d.kind, SeqDiff::Kind::reorder);
+  EXPECT_EQ(d.index, 0u);
+}
+
+TEST(SeqDiff, WildcardsUnifyInsideSequences) {
+  auto a = three_calls();
+  auto b = a;
+  b[0].count = kAnyCount;
+  b[0].root = kAnyRoot;
+  EXPECT_EQ(seq_diff(a, b).kind, SeqDiff::Kind::equal);
+}
+
+// ---- static verification ------------------------------------------------
+
+TEST(Verify, StraightLineAndUniformControlFlowAreClean) {
+  Skeleton sk{"clean",
+              seq(call(real(sig_bcast(Dtype::kByte, 64, 0))),
+                  loop(3, call(real(sig_allreduce(Dtype::f64, 1,
+                                                  RedOp::sum)))),
+                  loop_uniform("until converged", call(sig_barrier())),
+                  branch_uniform("if (verbose)",
+                                 call(real(sig_gather(Dtype::f64, 8, 0)))),
+                  call(sig_barrier()))};
+  Diag d = verify(sk);
+  EXPECT_TRUE(d.ok) << d.to_string();
+  EXPECT_EQ(d.program, "clean");
+}
+
+TEST(Verify, RankBranchWithMatchingArmsIsClean) {
+  // Different code per rank group, same collective sequence: fine.
+  Node arm = seq(call(real(sig_reduce(Dtype::f64, 4, RedOp::sum, 0))),
+                 call(sig_barrier()));
+  Skeleton sk{"rank-ok", branch_rank("if (rank % 2)", arm, arm)};
+  EXPECT_TRUE(verify(sk).ok);
+}
+
+TEST(Verify, RankLoopWithCollectivesIsFlagged) {
+  Skeleton sk{"rank-loop",
+              loop_rank("for (i = 0; i < rank; ++i)",
+                        call(real(sig_allreduce(Dtype::f64, 1,
+                                                RedOp::sum))))};
+  Diag d = verify(sk);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "rank-loop");
+  EXPECT_EQ(d.where, "for (i = 0; i < rank; ++i)");
+}
+
+TEST(Verify, RankLoopWithoutCollectivesIsClean) {
+  Skeleton sk{"rank-loop-empty",
+              seq(loop_rank("for (i = 0; i < rank; ++i)", seq()),
+                  call(sig_barrier()))};
+  EXPECT_TRUE(verify(sk).ok);
+}
+
+TEST(Verify, DivergentRootPinpointsFieldAndConditional) {
+  Skeleton sk{"wrong-root",
+              branch_rank("if (rank == 0)",
+                          call(real(sig_bcast(Dtype::kByte, 64, 0))),
+                          call(real(sig_bcast(Dtype::kByte, 64, 1))))};
+  Diag d = verify(sk);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "arm-mismatch");
+  EXPECT_EQ(d.field, "root");
+  EXPECT_EQ(d.index, 0u);
+  EXPECT_EQ(d.where, "if (rank == 0)");
+  // The rendered diagnostic names both arms' calls.
+  EXPECT_NE(d.detail.find("then-arm"), std::string::npos) << d.detail;
+  EXPECT_NE(d.detail.find("else-arm"), std::string::npos) << d.detail;
+}
+
+TEST(Verify, ConditionalSkipIsArmExtra) {
+  Skeleton sk{"cond-skip",
+              branch_rank("if (rank != 0)",
+                          seq(call(real(sig_allreduce(Dtype::f64, 1,
+                                                      RedOp::sum))),
+                              call(sig_barrier())),
+                          call(sig_barrier()))};
+  Diag d = verify(sk);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "arm-extra");
+  EXPECT_EQ(d.index, 0u);
+}
+
+TEST(Verify, SwappedArmsAreArmReorder) {
+  Node ab = seq(call(real(sig_bcast(Dtype::kByte, 8, 0))),
+                call(real(sig_allreduce(Dtype::f64, 1, RedOp::sum))));
+  Node ba = seq(call(real(sig_allreduce(Dtype::f64, 1, RedOp::sum))),
+                call(real(sig_bcast(Dtype::kByte, 8, 0))));
+  Skeleton sk{"reorder", branch_rank("if (rank & 1)", ab, ba)};
+  Diag d = verify(sk);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "arm-reorder");
+}
+
+TEST(Verify, LengthDivergenceIsArmLength) {
+  Node many = seq(call(sig_barrier()), call(sig_barrier()),
+                  call(sig_barrier()));
+  Skeleton sk{"length", branch_rank("if (rank)", many, call(sig_barrier()))};
+  Diag d = verify(sk);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "arm-length");
+}
+
+TEST(Verify, KnownTripLoopsUnrollInsideRankArms) {
+  // 2 iterations x 1 call == 2 straight calls: provably equal.
+  Node looped = loop(2, call(real(sig_allreduce(Dtype::f64, 1,
+                                                RedOp::sum))));
+  Node straight = seq(call(real(sig_allreduce(Dtype::f64, 1, RedOp::sum))),
+                      call(real(sig_allreduce(Dtype::f64, 1, RedOp::sum))));
+  Skeleton ok{"unroll-ok", branch_rank("if (rank)", looped, straight)};
+  EXPECT_TRUE(verify(ok).ok);
+
+  Node three = loop(3, call(real(sig_allreduce(Dtype::f64, 1, RedOp::sum))));
+  Skeleton bad{"unroll-bad", branch_rank("if (rank)", three, straight)};
+  Diag d = verify(bad);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "arm-extra");
+}
+
+TEST(Verify, UnknownTripLoopInsideRankArmIsUnprovable) {
+  Skeleton sk{"unprovable",
+              branch_rank("if (rank == 0)",
+                          loop_uniform("until converged",
+                                       call(sig_barrier())),
+                          call(sig_barrier()))};
+  Diag d = verify(sk);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.kind, "arm-unprovable");
+  EXPECT_EQ(d.where, "until converged");
+  EXPECT_NE(d.detail.find("if (rank == 0)"), std::string::npos) << d.detail;
+}
+
+TEST(Verify, DiagToStringCarriesAnchorAndField) {
+  Skeleton sk{"render",
+              branch_rank("if (rank < 4)",
+                          call(real(sig_reduce(Dtype::f64, 8, RedOp::sum,
+                                               0))),
+                          call(real(sig_reduce(Dtype::f32, 8, RedOp::sum,
+                                               0))))};
+  Diag d = verify(sk);
+  ASSERT_FALSE(d.ok);
+  std::string s = d.to_string();
+  EXPECT_NE(s.find("render"), std::string::npos) << s;
+  EXPECT_NE(s.find("if (rank < 4)"), std::string::npos) << s;
+  EXPECT_NE(s.find("dtype"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace srm::sv
