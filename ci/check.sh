@@ -6,10 +6,11 @@
 #
 # Stages:
 #   1. default     — release-ish build with SRM_CHK=ON + SRM_MC=ON, full ctest
-#   1b. perf       — micro_engine + fig06_bcast + fig07_reduce vs the
-#                    checked-in BENCH_*.json baselines at the repo root
-#                    (ci/perf_gate.py, >15% fails); also runnable alone via
-#                    `ci/check.sh perf`
+#   1b. perf       — micro_engine + fig06_bcast + fig07_reduce +
+#                    fig08_allreduce vs the checked-in BENCH_*.json baselines
+#                    at the repo root (ci/perf_gate.py, >15% fails), plus a
+#                    smoke run of the single-copy ablation; also runnable
+#                    alone via `ci/check.sh perf`
 #   1c. sv         — collective-matching verifier: the seeded-mismatch
 #                    mutation gauntlet, then every example + fig12_barrier
 #                    re-run under SRM_SV_SELFCHECK=1 so the recorded traces
@@ -67,6 +68,14 @@ run_perf_gate() {
   (cd "$dir/bench" && ./fig07_reduce >/dev/null)
   python3 ci/perf_gate.py BENCH_fig07_reduce.json \
     "$dir/bench/BENCH_fig07_reduce.json" --tol "${SRM_PERF_TOL:-0.15}"
+  cmake --build "$dir" -j "$JOBS" --target fig08_allreduce abl_single_copy \
+    >/dev/null
+  (cd "$dir/bench" && ./fig08_allreduce >/dev/null)
+  python3 ci/perf_gate.py BENCH_fig08_allreduce.json \
+    "$dir/bench/BENCH_fig08_allreduce.json" --tol "${SRM_PERF_TOL:-0.15}"
+  # Single-copy ablation, smoke sizes: exercises the mapped protocols on
+  # both machine profiles so a broken window path fails the gate loudly.
+  (cd "$dir/bench" && ./abl_single_copy --smoke >/dev/null)
 }
 
 run_sv() {
@@ -74,7 +83,8 @@ run_sv() {
   echo "=== [sv] collective-matching verifier: gauntlet + programs ==="
   cmake -B "$dir" -S . -DSRM_CHK=ON -DSRM_MC=ON >/dev/null
   cmake --build "$dir" -j "$JOBS" --target sv_verify quickstart power_method \
-    jacobi_heat global_stats image_pipeline fig12_barrier >/dev/null
+    jacobi_heat global_stats image_pipeline fig12_barrier abl_single_copy \
+    >/dev/null
   "$dir/src/sv_verify" gauntlet
   # Run from inside the build tree: the bench program writes its stats JSON
   # into the working directory.
@@ -87,6 +97,11 @@ run_sv() {
     "$abs/examples/global_stats" \
     "$abs/examples/image_pipeline" \
     "$abs/bench/fig12_barrier")
+  # The single-copy ablation declares its skeletons through the canned
+  # timing loops; smoke sizes keep the sv pass quick (self-check arms one
+  # Bench per profile/protocol cell and exits 3 on any mismatch).
+  echo "=== [sv] abl_single_copy --smoke self-check ==="
+  (cd "$dir/bench" && SRM_SV_SELFCHECK=1 ./abl_single_copy --smoke >/dev/null)
 }
 
 if [[ "$MODE" == "perf" ]]; then

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <map>
 
 namespace srm::coll {
 
@@ -147,6 +148,80 @@ Tree build_tree(TreeKind kind, int n, int root) {
   }
   SRM_CHECK(false);
   return {};
+}
+
+Tree topo_tree(const machine::TopologyParams& tp, int n, int root,
+               bool binomial) {
+  Tree t = make_empty(n, root);
+  // Leaders: the root leads every domain it belongs to; any other domain is
+  // led by its lowest member. Maps are keyed by domain id (dense from 0).
+  auto leader_of = [&](auto domain_of) {
+    std::vector<int> lead;
+    for (int v = 0; v < n; ++v) {
+      auto d = static_cast<std::size_t>(domain_of(v));
+      if (d >= lead.size()) lead.resize(d + 1, -1);
+      if (lead[d] == -1) lead[d] = v;
+    }
+    lead[static_cast<std::size_t>(domain_of(root))] = root;
+    return lead;
+  };
+  std::vector<int> sock_lead =
+      leader_of([&](int v) { return tp.socket_of(v); });
+  std::vector<int> l3_lead = leader_of([&](int v) { return tp.l3_of(v); });
+  // An L3 slice containing its socket's leader is led by that leader (one
+  // descent path per vertex: root -> socket leader -> L3 leader -> core).
+  for (std::size_t g = 0; g < l3_lead.size(); ++g) {
+    int sl = sock_lead[static_cast<std::size_t>(tp.socket_of(l3_lead[g]))];
+    if (tp.l3_of(sl) == static_cast<int>(g)) l3_lead[g] = sl;
+  }
+
+  // Group every non-root vertex under its leader (same descent rules either
+  // way); the flag only changes how members attach within one group. Each
+  // member carries its stratum — plain core, L3 leader, socket leader — so
+  // the binomial layout can order the group without mixing strata in a way
+  // that would cross a domain boundary twice.
+  std::map<int, std::vector<std::pair<int, int>>> group;  // lead -> (stratum, v)
+  for (int v = 0; v < n; ++v) {
+    if (v == root) continue;
+    int sl = sock_lead[static_cast<std::size_t>(tp.socket_of(v))];
+    int gl = l3_lead[static_cast<std::size_t>(tp.l3_of(v))];
+    if (v == sl) {
+      group[root].emplace_back(2, v);
+    } else if (v == gl) {
+      group[sl].emplace_back(1, v);
+    } else {
+      group[gl].emplace_back(0, v);
+    }
+  }
+  for (auto& [lead, members] : group) {
+    if (!binomial) {
+      for (auto [s, v] : members) link(t, lead, v);
+      continue;
+    }
+    // In-group order [lead, members...]; index i hangs off index i with its
+    // lowest set bit cleared — the classic binomial layout. Same-domain
+    // cores come first (rank order rotated around the leader, so a
+    // single-domain group reproduces binomial_tree(n, root) exactly), then
+    // L3 leaders, then socket leaders: a core's binomial parent is always
+    // an earlier core of its own slice (or the lead), and only a domain's
+    // leader ever has a parent outside that domain — every boundary is
+    // still crossed by exactly one edge.
+    const int l = lead;  // structured binding can't be captured
+    std::sort(members.begin(), members.end(),
+              [&](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return (a.second - l + n) % n < (b.second - l + n) % n;
+              });
+    std::vector<int> ord;
+    ord.reserve(members.size() + 1);
+    ord.push_back(lead);
+    for (auto [s, v] : members) ord.push_back(v);
+    for (std::size_t i = 1; i < ord.size(); ++i) {
+      link(t, ord[i & (i - 1)], ord[i]);
+    }
+  }
+  t.validate();
+  return t;
 }
 
 int Embedding::height(const machine::Topology& topo) const {

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "machine/params.hpp"
 #include "machine/topology.hpp"
 #include "util/check.hpp"
 
@@ -43,6 +44,22 @@ Tree binomial_tree(int n, int root);
 Tree binary_tree(int n, int root);
 Tree fibonacci_tree(int n, int root);
 Tree flat_tree(int n, int root);
+
+/// Hierarchy-aware intra-node tree over @p n local tasks: root -> socket
+/// leaders -> L3 leaders -> cores, so every cache-domain boundary is crossed
+/// by exactly one tree edge (the single-copy protocols hang one cross-domain
+/// window transfer on each such edge). The root leads its own socket and L3
+/// slice; every other domain is led by its lowest local task. Degenerates to
+/// a flat tree on a single-domain topology.
+///
+/// With @p binomial, members of each domain group hang off their leader in
+/// binomial order instead of flat: fan-in work (reduce combines, serialized
+/// at every parent) parallelizes across the tree's interior, while fan-out
+/// consumers (broadcast pulls, which overlap on the bus anyway) prefer the
+/// flat shape. On a single-domain topology the binomial variant is exactly
+/// binomial_tree(n, root).
+Tree topo_tree(const machine::TopologyParams& tp, int n, int root,
+               bool binomial = false);
 
 /// The SMP-aware embedding of collective trees into a cluster (Fig. 1).
 struct Embedding {

@@ -59,9 +59,21 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
     return cfg_.use_two_buffers ? seq % 2 : std::size_t{0};
   };
 
+  // Single-copy path: only the *root* node stages through the shared buffer
+  // (elsewhere the data already lands in shared memory); a mapped fan-out
+  // from the root's user buffer removes that staging copy. One window over
+  // the whole message — the pipeline-band chunking is a staging-buffer
+  // artifact the mapped path doesn't need.
+  bool mapped = single_copy_on(bytes);
+
   if (t.rank != leader) {
     // Pure consumer: copy each chunk out of the landing buffer (non-root
     // nodes) or the SMP broadcast buffer (root node) when READY.
+    if (is_root_node && mapped) {
+      co_await smp_bcast_mapped(t, leader_local, nullptr, buf, bytes);
+      finish_bookkeeping();
+      co_return;
+    }
     for (std::size_t c = 0; c < nchunks; ++c) {
       std::size_t off = c * chunk;
       std::size_t len = std::min(chunk, bytes - off);
@@ -121,9 +133,11 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
     }
 
     if (is_root_node) {
-      co_await smp_bcast_chunk(t, leader_local, data,
-                               static_cast<std::byte*>(buf) + off, len,
-                               nullptr);
+      if (!mapped) {
+        co_await smp_bcast_chunk(t, leader_local, data,
+                                 static_cast<std::byte*>(buf) + off, len,
+                                 nullptr);
+      }
     } else {
       std::size_t flag_slot = cfg_.use_two_buffers ? rs.smp_bc_seq % 2 : 0;
       co_await smp_bcast_chunk(t, leader_local, nullptr,
@@ -140,6 +154,11 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
           ep(parent_leader),
           *ps.bc_free[static_cast<std::size_t>(my_node)][in_slot]);
     }
+  }
+  if (is_root_node && mapped) {
+    // Mapped local fan-out after the puts are on the wire: the consumers
+    // pull straight from the root's user buffer while the network streams.
+    co_await smp_bcast_mapped(t, leader_local, buf, buf, bytes);
   }
   if (org_pending > 0) {
     co_await my_ep.wait_cntr(org, org_pending);
@@ -162,10 +181,19 @@ sim::CoTask Communicator::bcast_large(machine::TaskCtx& t, void* buf,
   std::size_t nchunks = detail::chunk_count(bytes, chunk);
 
   // The SMP publish stage moves at most one shared buffer per step; network
-  // chunks larger than that are published in sub-chunks.
-  auto smp_publish = [this, &t, leader_local, buf](
+  // chunks larger than that are published in sub-chunks. The mapped path
+  // exports the whole network chunk as one window instead — no staging
+  // buffer, so no sub-chunking and one copy per consumer instead of two.
+  bool mapped = single_copy_on(bytes);
+  auto smp_publish = [this, &t, leader_local, buf, mapped](
                          std::size_t off, std::size_t len,
                          bool is_leader) -> sim::CoTask {
+    if (mapped) {
+      std::byte* p = static_cast<std::byte*>(buf) + off;
+      co_await smp_bcast_mapped(t, leader_local, is_leader ? p : nullptr, p,
+                                len);
+      co_return;
+    }
     std::size_t done = 0;
     while (done < len) {
       std::size_t sub = std::min(cfg_.smp_buf_bytes, len - done);

@@ -47,6 +47,7 @@
 #include "lapi/lapi.hpp"
 #include "machine/cluster.hpp"
 #include "shm/flag.hpp"
+#include "shm/mapping.hpp"
 #include "sim/task.hpp"
 
 namespace srm {
@@ -215,6 +216,20 @@ class Communicator final : public coll::Collectives {
     std::vector<void*> ga_addr;  // indexed by the root's node
     std::vector<std::unique_ptr<lapi::Counter>> ga_addr_arr;
     std::vector<std::unique_ptr<lapi::Counter>> ga_done;  // per sender node
+
+    // ---- single-copy cross-mapping state (core/single_copy.cpp) ----
+    //
+    // One window slot per local task: the mapped protocols export user
+    // buffers through it instead of staging through bc_buf/red_slot.
+    shm::Mapping* map = nullptr;  // owned by the segment
+    // Mapped-reduce accumulators: interior vertices of the topology tree
+    // combine their subtree into these per-local slot pairs (leaves
+    // contribute straight from their exported send windows and need no
+    // slot). Guarded by monotonic published/consumed counters exactly like
+    // red_slot/red_published/red_consumed.
+    std::array<std::vector<std::span<std::byte>>, 2> sc_acc;  // [slot][local]
+    std::unique_ptr<shm::FlagArray> sc_pub;
+    std::array<std::unique_ptr<shm::FlagArray>, 2> sc_cons;  // [slot]
   };
 
   // ---- per-rank protocol sequence numbers ----
@@ -239,6 +254,14 @@ class Communicator final : public coll::Collectives {
     // Cumulative SMP-reduce chunks each local task has published (slot
     // parity + published/consumed counter baselines).
     std::vector<std::uint64_t> smp_red_base;
+    // Expected window generation per local task's Mapping slot: bumped in
+    // lockstep by every rank of the node whenever a mapped protocol makes
+    // local task l export a window — the attach side passes map_gen[l]+1.
+    std::vector<std::uint64_t> map_gen;
+    // Cumulative mapped-reduce chunks each local accumulated into its
+    // sc_acc slots (parity + published/consumed baselines, the mapped twin
+    // of smp_red_base).
+    std::vector<std::uint64_t> sc_base;
   };
 
   NodeState& node_state(const machine::TaskCtx& t) {
@@ -304,6 +327,61 @@ class Communicator final : public coll::Collectives {
                               std::size_t chunk_off, std::size_t len,
                               std::size_t my_lo, std::size_t my_hi,
                               std::byte* my_dst);
+
+  // ---- single-copy cross-mapped SMP primitives (core/single_copy.cpp) ----
+
+  /// Uniform per-operation protocol switch: the mapped single-copy path runs
+  /// when enabled and the operation moves at least the crossover. Every rank
+  /// computes this from operation-level arguments, so all ranks of a node
+  /// take the same branch.
+  bool single_copy_on(std::size_t op_bytes) const noexcept {
+    return cfg_.single_copy && op_bytes >= cfg_.single_copy_min;
+  }
+
+  /// Mapped SMP broadcast: the leader exports [src, src+len) and the
+  /// topology tree (coll::topo_tree) cascades direct copies — each vertex
+  /// attaches to its parent's window, pulls into its own @p dst at the
+  /// cache-distance-scaled cost, and re-exports dst for its children. N-1
+  /// copies of len where the staged Fig. 3 path makes N, and no
+  /// smp_buf_bytes cap. Pass src == nullptr on non-leader ranks.
+  sim::CoTask smp_bcast_mapped(machine::TaskCtx& t, int leader_local,
+                               const void* src, void* dst, std::size_t len);
+
+  /// Non-leader side of the mapped SMP reduce over @p tree (a topology
+  /// tree): leaves export their send buffers once and do no per-chunk work;
+  /// interior vertices combine their own data, their leaf children's
+  /// windows, and their interior children's sc_acc slots into their own
+  /// sc_acc slot, chunk by chunk. Zero copies — only combines.
+  sim::CoTask smp_reduce_participant_mapped(machine::TaskCtx& t,
+                                            const coll::Tree& tree,
+                                            const void* send,
+                                            std::size_t count, coll::Dtype d,
+                                            coll::RedOp op);
+
+  /// Leader side of one mapped-reduce chunk: combine own data + children
+  /// (leaf windows from @p wins, interior sc_acc slots) straight into
+  /// @p dst. @p wins is indexed by child local rank (attach_leaf_windows).
+  sim::CoTask smp_reduce_chunk_leader_mapped(
+      machine::TaskCtx& t, const coll::Tree& tree, const void* send,
+      void* dst, std::size_t c, std::size_t elem_off, std::size_t elems,
+      coll::Dtype d, coll::RedOp op,
+      const std::vector<shm::Mapping::Window>& wins);
+
+  /// Attach (once per operation, before the chunk loop) the windows of the
+  /// caller's leaf children in @p tree; @p wins is resized to nlocal and
+  /// filled at the children's local ranks. detach_leaf_windows releases
+  /// them after the last chunk.
+  sim::CoTask attach_leaf_windows(machine::TaskCtx& t, const coll::Tree& tree,
+                                  std::vector<shm::Mapping::Window>& wins);
+  void detach_leaf_windows(machine::TaskCtx& t, const coll::Tree& tree);
+
+  /// Mapped twin of finish_reduce_bookkeeping: advance window generations
+  /// (leaf vertices), accumulator baselines (interior non-leader vertices),
+  /// and the inter-node landing parities.
+  void finish_reduce_bookkeeping_mapped(machine::TaskCtx& t,
+                                        const coll::Embedding& emb,
+                                        const coll::Tree& tree,
+                                        std::size_t nchunks);
 
   /// SMP barrier (§2.2): flat flags, master gathers then resets.
   sim::CoTask smp_barrier(machine::TaskCtx& t);

@@ -39,6 +39,16 @@ struct SrmConfig {
   /// Intra-node reduce tree.
   coll::TreeKind intranode_tree = coll::TreeKind::binomial;
 
+  /// Single-copy cross-mapped intra-node protocols (shm::Mapping): operations
+  /// moving at least single_copy_min bytes export user-buffer windows and
+  /// copy/combine directly across address spaces over the topology tree
+  /// (machine::TopologyParams), skipping the staged Fig. 2/3 buffers. Below
+  /// the crossover the staged path still wins (publish/attach costs dominate
+  /// tiny messages), so both switches matter. Off by default: the
+  /// paper-faithful 2-copy path is the baseline and stays ablatable.
+  bool single_copy = false;
+  std::size_t single_copy_min = 16 * 1024;
+
   /// Ablation: use a single shared buffer instead of the A/B pair
   /// (disables the two-stage pipeline of Fig. 3).
   bool use_two_buffers = true;

@@ -54,11 +54,24 @@ sim::CoTask Communicator::real_scatter(machine::TaskCtx& t, const void* send,
     return cfg_.use_two_buffers ? seq % 2 : std::size_t{0};
   };
 
+  // Single-copy path (root node only — elsewhere the data already lands in
+  // shared memory): the root exports one window over its own node's block
+  // and every local pulls its slice straight out, flat — a hierarchy buys
+  // nothing when each reader wants a disjoint slice.
+  bool mapped = single_copy_on(node_block) && t.nlocal() > 1;
+
   if (t.rank == root) {
     lapi::Endpoint& my_ep = ep(t.rank);
     lapi::Counter org(*t.eng, "scatter.org@" + std::to_string(t.rank));
     std::uint64_t org_pending = 0;
     const std::byte* sp = static_cast<const std::byte*>(send);
+    const std::byte* own_block =
+        sp + static_cast<std::size_t>(root_node) * node_block;
+    if (mapped) {
+      // Export before the network loop so the local pulls overlap the puts.
+      co_await ns.map->publish(t, const_cast<std::byte*>(own_block),
+                               node_block);
+    }
     // Chunk-major across nodes so all links stream concurrently.
     for (std::size_t c = 0; c < nchunks; ++c) {
       std::size_t off = c * chunk;
@@ -78,13 +91,33 @@ sim::CoTask Communicator::real_scatter(machine::TaskCtx& t, const void* send,
             &org);
         ++org_pending;
       }
-      // Distribute the root node's own block slice-wise.
-      co_await smp_slice_chunk(
-          t, leader_local,
-          sp + static_cast<std::size_t>(root_node) * node_block + off,
-          nullptr, off, len, my_lo, my_hi, static_cast<std::byte*>(recv));
+      if (!mapped) {
+        // Distribute the root node's own block slice-wise.
+        co_await smp_slice_chunk(t, leader_local, own_block + off, nullptr,
+                                 off, len, my_lo, my_hi,
+                                 static_cast<std::byte*>(recv));
+      }
+    }
+    if (mapped) {
+      // Own slice: plain local copy out of the (own) window.
+      co_await t.nd->mem.charge_copy(static_cast<double>(block));
+      std::memcpy(recv, own_block + my_lo, block);
+      chk::note_read(t.chk, own_block + my_lo, block);
+      co_await ns.map->retract(t, t.nlocal() - 1);
     }
     if (org_pending > 0) co_await my_ep.wait_cntr(org, org_pending);
+  } else if (mapped && my_node == root_node) {
+    // Root-node consumer: pull the slice straight from the root's buffer.
+    shm::Mapping::Window w;
+    co_await ns.map->attach(
+        t, leader_local,
+        rs.map_gen[static_cast<std::size_t>(leader_local)] + 1, &w);
+    co_await t.nd->mem.charge_copy_scaled(
+        static_cast<double>(block),
+        t.P->topo.copy_factor(leader_local, t.local(), true));
+    std::memcpy(recv, w.data + my_lo, block);
+    chk::note_read(t.chk, w.data + my_lo, block);
+    ns.map->detach(t, leader_local);
   } else if (is_leader) {
     lapi::Endpoint& my_ep = ep(t.rank);
     auto ri = static_cast<std::size_t>(root_node);
@@ -126,6 +159,10 @@ sim::CoTask Communicator::real_scatter(machine::TaskCtx& t, const void* send,
       if (nd == root_node) continue;
       rs.bc_sent[static_cast<std::size_t>(nd)] += nchunks;
     }
+    // Mapped path: one window export by the root, mirrored by every rank of
+    // the node. (The staged smp_bc_seq parity does not advance — nobody on
+    // this node touched the shared A/B buffers.)
+    if (mapped) rs.map_gen[static_cast<std::size_t>(leader_local)] += 1;
   } else {
     rs.bc_recv[static_cast<std::size_t>(root_node)] += nchunks;
   }
@@ -180,6 +217,52 @@ sim::CoTask Communicator::real_gather(machine::TaskCtx& t, const void* send,
     if (org_pending > 0) co_await my_ep.wait_cntr(org, org_pending);
   }
 
+  // Single-copy path (root node only): instead of staging slices through
+  // ga_stage, every local exports a window over its send block and the root
+  // pulls each block straight into its final place in recv — N-1 copies
+  // where the staged assembly makes 2 per byte.
+  bool mapped =
+      single_copy_on(node_block) && t.nlocal() > 1 && my_node == root_node;
+  if (mapped) {
+    if (!is_leader) {
+      co_await ns.map->publish(t, const_cast<void*>(send), block);
+      co_await ns.map->retract(t, 1);
+    } else {
+      std::byte* rp = static_cast<std::byte*>(recv) + node_base;
+      for (int l = 0; l < p; ++l) {
+        auto li = static_cast<std::size_t>(l);
+        std::size_t dst_off = static_cast<std::size_t>(l) * block;
+        if (l == leader_local) {
+          co_await t.nd->mem.charge_copy(static_cast<double>(block));
+          std::memcpy(rp + dst_off, send, block);
+          continue;
+        }
+        shm::Mapping::Window w;
+        co_await ns.map->attach(t, l, rs.map_gen[li] + 1, &w);
+        co_await t.nd->mem.charge_copy_scaled(
+            static_cast<double>(block),
+            t.P->topo.copy_factor(l, t.local(), true));
+        std::memcpy(rp + dst_off, w.data, block);
+        chk::note_read(t.chk, w.data, block);
+        ns.map->detach(t, l);
+      }
+    }
+    // Every rank of the node mirrors the leaf exports; ga_seq does not
+    // advance — nobody here touched the staging pair.
+    for (int l = 0; l < p; ++l) {
+      if (l != leader_local) rs.map_gen[static_cast<std::size_t>(l)] += 1;
+    }
+    // The root still has to wait for the remote nodes' puts below.
+    if (t.rank == root) {
+      for (int nd = 0; nd < t.nnodes(); ++nd) {
+        if (nd == root_node) continue;
+        co_await my_ep.wait_cntr(
+            *ns.ga_done[static_cast<std::size_t>(nd)], nchunks);
+      }
+    }
+    co_return;
+  }
+
   // Stage 1 (everyone): assemble the node block in the shared staging pair.
   // All p locals bump the filled counter for every chunk (with or without a
   // contribution), so the expected count per chunk is exactly p.
@@ -221,8 +304,15 @@ sim::CoTask Communicator::real_gather(machine::TaskCtx& t, const void* send,
     co_await ns.ga_filled[slot]->await_at_least(
         prior + static_cast<std::uint64_t>(p), &t.chk);
     if (my_node == root_node) {
-      // The root copies straight into its receive buffer.
-      co_await t.nd->mem.charge_copy(static_cast<double>(len));
+      // The root copies straight into its receive buffer. The stage slices
+      // are dirty in p different caches; charge the stream at the average
+      // pull distance (exactly 1.0 on a single-domain topology).
+      double f = 0.0;
+      for (int l = 0; l < p; ++l) {
+        f += t.P->topo.copy_factor(l, t.local(), /*dirty=*/true);
+      }
+      co_await t.nd->mem.charge_copy_scaled(
+          static_cast<double>(len), f / static_cast<double>(p));
       chk::note_read(t.chk, ns.ga_stage[slot].data(), len);
       std::memcpy(static_cast<std::byte*>(recv) + node_base + off,
                   ns.ga_stage[slot].data(), len);

@@ -27,16 +27,28 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
   RankState& rs = rank_state(t);
   int my_node = t.node();
   int leader = emb.leader[static_cast<std::size_t>(my_node)];
-  coll::Tree itree = coll::build_tree(cfg_.intranode_tree, t.nlocal(),
-                                      t.topo->local_of(leader));
-
   std::size_t esize = coll::dtype_size(d);
+  // Single-copy path: leaves of the topology tree export their send buffers
+  // as windows and the interior combines straight out of them — no staging
+  // copies at all, and every cache-domain boundary crossed exactly once.
+  bool mapped = single_copy_on(count * esize);
+  coll::Tree itree =
+      mapped ? coll::topo_tree(t.P->topo, t.nlocal(), t.topo->local_of(leader),
+                               /*binomial=*/true)
+             : coll::build_tree(cfg_.intranode_tree, t.nlocal(),
+                                t.topo->local_of(leader));
+
   std::size_t chunk_elems = cfg_.reduce_chunk / esize;
   std::size_t nchunks = detail::chunk_count(count, chunk_elems);
 
   if (t.rank != leader) {
-    co_await smp_reduce_participant(t, itree, send, count, d, op);
-    finish_reduce_bookkeeping(t, emb, nchunks);
+    if (mapped) {
+      co_await smp_reduce_participant_mapped(t, itree, send, count, d, op);
+      finish_reduce_bookkeeping_mapped(t, emb, itree, nchunks);
+    } else {
+      co_await smp_reduce_participant(t, itree, send, count, d, op);
+      finish_reduce_bookkeeping(t, emb, nchunks);
+    }
     co_return;
   }
 
@@ -45,6 +57,11 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
   const auto& kids = emb.internode.children[static_cast<std::size_t>(my_node)];
   bool is_root_node = parent == -1;
   std::uint64_t out_inflight = 0;
+
+  // Mapped path: attach the leader's leaf-children windows once, up front —
+  // the chunk loop then reads them with no per-chunk handshake.
+  std::vector<shm::Mapping::Window> wins;
+  if (mapped) co_await attach_leaf_windows(t, itree, wins);
 
   for (std::size_t c = 0; c < nchunks; ++c) {
     std::size_t elem_off = c * chunk_elems;
@@ -65,8 +82,13 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
     }
 
     // Intra-node combine straight into dst.
-    co_await smp_reduce_chunk_leader(t, itree, send, dst, c, elem_off, elems,
-                                     d, op);
+    if (mapped) {
+      co_await smp_reduce_chunk_leader_mapped(t, itree, send, dst, c,
+                                              elem_off, elems, d, op, wins);
+    } else {
+      co_await smp_reduce_chunk_leader(t, itree, send, dst, c, elem_off,
+                                       elems, d, op);
+    }
 
     // Fold in the inter-node children's landing zones as they arrive.
     for (int child : kids) {
@@ -106,7 +128,12 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
   if (out_inflight > 0) {
     co_await my_ep.wait_cntr(*ns.red_out_org, out_inflight);
   }
-  finish_reduce_bookkeeping(t, emb, nchunks);
+  if (mapped) {
+    detach_leaf_windows(t, itree);
+    finish_reduce_bookkeeping_mapped(t, emb, itree, nchunks);
+  } else {
+    finish_reduce_bookkeeping(t, emb, nchunks);
+  }
 }
 
 }  // namespace srm

@@ -69,7 +69,12 @@ sim::CoTask Communicator::smp_bcast_chunk(machine::TaskCtx& t,
     }
   } else {
     co_await ready[t.local()].await_value(1, &t.chk);
-    co_await t.nd->mem.charge_copy(static_cast<double>(len));
+    // The staging buffer is dirty in the leader's cache when the leader
+    // filled it; a DMA-landed chunk (shared_src) is memory-resident.
+    co_await t.nd->mem.charge_copy_scaled(
+        static_cast<double>(len),
+        t.P->topo.copy_factor(leader_local, t.local(),
+                              /*dirty=*/shared_src == nullptr));
     std::memcpy(dst, read_buf, len);
     chk::note_read(t.chk, read_buf, len);
     ready[t.local()].set(0, &t.chk);
@@ -104,7 +109,9 @@ sim::CoTask Communicator::smp_bcast_chunk_tree(machine::TaskCtx& t,
     chk::note_write(t.chk, sbuf, len);
   } else {
     co_await ready[t.local()].await_value(1, &t.chk);
-    co_await t.nd->mem.charge_copy(static_cast<double>(len));
+    co_await t.nd->mem.charge_copy_scaled(
+        static_cast<double>(len),
+        t.P->topo.copy_factor(leader_local, t.local(), /*dirty=*/true));
     std::memcpy(dst, sbuf, len);
     chk::note_read(t.chk, sbuf, len);
   }
@@ -140,7 +147,10 @@ sim::CoTask Communicator::smp_slice_chunk(machine::TaskCtx& t,
 
   auto copy_slice = [&]() -> sim::CoTask {
     if (lo < hi && my_dst != nullptr) {
-      co_await t.nd->mem.charge_copy(static_cast<double>(hi - lo));
+      co_await t.nd->mem.charge_copy_scaled(
+          static_cast<double>(hi - lo),
+          t.P->topo.copy_factor(leader_local, t.local(),
+                                /*dirty=*/shared_src == nullptr));
       std::memcpy(my_dst + (lo - my_lo), read_buf + (lo - chunk_off),
                   hi - lo);
       chk::note_read(t.chk, read_buf + (lo - chunk_off), hi - lo);
@@ -231,7 +241,9 @@ sim::CoTask Communicator::smp_reduce_participant(machine::TaskCtx& t,
                                                          &t.chk);
         const std::byte* kslot =
             ns.red_slot[kid_abs % 2][static_cast<std::size_t>(kid)].data();
-        co_await t.nd->mem.charge_combine(bytes);
+        // The child just wrote its slot: a dirty pull across its distance.
+        co_await t.nd->mem.charge_combine_scaled(
+            bytes, t.P->topo.copy_factor(kid, me, /*dirty=*/true));
         if (first) {
           coll::combine_out(op, d, slot, mine, kslot, elems);
           first = false;
@@ -276,7 +288,8 @@ sim::CoTask Communicator::smp_reduce_chunk_leader(
     co_await (*ns.red_published)[kid].await_at_least(kid_abs + 1, &t.chk);
     const std::byte* kslot =
         ns.red_slot[kid_abs % 2][static_cast<std::size_t>(kid)].data();
-    co_await t.nd->mem.charge_combine(bytes);
+    co_await t.nd->mem.charge_combine_scaled(
+        bytes, t.P->topo.copy_factor(kid, me, /*dirty=*/true));
     if (first) {
       // The last combine writes directly to the destination — the paper's
       // "result ... directly in the destination rather than an intermediate

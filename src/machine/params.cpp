@@ -1,0 +1,63 @@
+// Machine profiles. Out-of-line so every translation unit shares one
+// definition of each profile (and so the header carries no magic numbers
+// beyond the field defaults).
+#include "machine/params.hpp"
+
+namespace srm::machine {
+
+MachineParams MachineParams::ibm_sp() {
+  MachineParams p;
+  // IBM MPI: tuned vendor library — lower software overheads, adaptive
+  // eager limit. MPICH (over MPL over MPCI): one more software layer —
+  // higher per-call and per-match costs, fixed eager limit.
+  p.mpi_ibm.call_overhead = sim::us(1) + sim::ns(500);
+  p.mpi_ibm.match_cost = sim::ns(1000);
+  p.mpi_ibm.layer_overhead = sim::us(1) + sim::ns(500);
+  p.mpi_ibm.eager_scales_with_tasks = true;
+  p.mpi_ibm.allreduce_rd_max = 16 * 1024;
+
+  p.mpi_mpich.call_overhead = sim::us(2) + sim::ns(500);
+  p.mpi_mpich.match_cost = sim::ns(1600);
+  p.mpi_mpich.layer_overhead = sim::us(2) + sim::ns(500);
+  p.mpi_mpich.shm_per_chunk = sim::ns(700);
+  p.mpi_mpich.eager_scales_with_tasks = false;
+  p.mpi_mpich.eager_limit_base = 4096;
+  p.mpi_mpich.allreduce_rd_max = 0;  // reduce+broadcast at every size
+  // The NightHawk II node is a flat crossbar: one cache domain, no NUMA,
+  // no dirty-line penalty in the paper's model (TopologyParams defaults).
+  return p;
+}
+
+MachineParams MachineParams::modern_smp() {
+  MachineParams p = ibm_sp();
+  // Node: 2 sockets x 2 L3 slices x 4 cores = 16-way, DDR4-class memory.
+  p.topo.cores_per_l3 = 4;
+  p.topo.l3_per_socket = 2;
+  p.topo.sockets = 2;
+  p.topo.same_l3_factor = 1.0;
+  p.topo.cross_l3_factor = 1.3;
+  p.topo.cross_socket_factor = 2.2;
+  p.topo.dirty_factor = 1.4;
+  p.topo.map_publish = sim::ns(250);
+  p.topo.map_attach = sim::ns(400);
+
+  p.mem.copy_bw_per_cpu = 6.0e9;
+  p.mem.bus_bw_total = 80.0e9;
+  p.mem.copy_startup = sim::ns(80);
+  p.mem.reduce_bw_per_cpu = 4.5e9;
+  p.mem.flag_propagation = sim::ns(90);
+  p.mem.flag_poll = sim::ns(25);
+
+  // 100 Gb/s-class fabric, microsecond-scale latency.
+  p.net.o_send = sim::ns(400);
+  p.net.gap = sim::ns(250);
+  p.net.bytes_per_sec = 12.0e9;
+  p.net.latency = sim::us(1) + sim::ns(500);
+
+  p.lapi.call_overhead = sim::ns(200);
+  p.lapi.poll_dispatch = sim::ns(150);
+  p.lapi.interrupt_cost = sim::us(4);
+  return p;
+}
+
+}  // namespace srm::machine

@@ -34,6 +34,53 @@ struct MemoryParams {
   sim::Duration flag_poll = sim::ns(60);
 };
 
+/// Intra-node cache/NUMA hierarchy: core -> L3 slice -> socket. The paper's
+/// testbed is a flat crossbar SMP (one level, every factor 1.0); modern
+/// multi-socket nodes pay more per byte the further the reader sits from the
+/// line's home, and more again when the line is Modified in another cache
+/// (a dirty-line intervention instead of a clean stream). The single-copy
+/// protocols use these factors and build their intra-node trees along the
+/// domain boundaries; the paper-faithful staged protocols ignore them.
+struct TopologyParams {
+  int cores_per_l3 = 16;  ///< locals sharing one L3 slice
+  int l3_per_socket = 1;
+  int sockets = 1;
+
+  /// Per-byte copy-cost multipliers by cache distance of reader vs. source.
+  double same_l3_factor = 1.0;
+  double cross_l3_factor = 1.0;   ///< same socket, different L3 slice
+  double cross_socket_factor = 1.0;  ///< NUMA hop
+  /// Extra multiplier when the source line is Modified in the writer's cache
+  /// (dirty intervention) rather than Shared/clean.
+  double dirty_factor = 1.0;
+
+  /// Software cost for a task to export a window over its private buffer
+  /// into the node's shared namespace (page-table/registration work), and
+  /// for a peer to attach to an exported window.
+  sim::Duration map_publish = sim::ns(300);
+  sim::Duration map_attach = sim::ns(500);
+
+  /// Domain of a local task id. Locals beyond the described core count wrap
+  /// into further L3 groups/sockets (the divisions stay well defined).
+  int l3_of(int local) const noexcept { return local / cores_per_l3; }
+  int socket_of(int local) const noexcept {
+    return local / (cores_per_l3 * l3_per_socket);
+  }
+
+  /// Per-byte multiplier for @p reader pulling from @p src's buffer.
+  /// Reading your own line — dirty or not — is the baseline stream.
+  double copy_factor(int src, int reader, bool dirty) const noexcept {
+    if (src == reader) return 1.0;
+    double f = same_l3_factor;
+    if (socket_of(src) != socket_of(reader)) {
+      f = cross_socket_factor;
+    } else if (l3_of(src) != l3_of(reader)) {
+      f = cross_l3_factor;
+    }
+    return dirty ? f * dirty_factor : f;
+  }
+};
+
 /// LogGP-style network (one "Colony"-class switch, single-hop latency).
 struct NetworkParams {
   /// CPU overhead on the origin side to initiate a message (o_send).
@@ -88,6 +135,7 @@ struct MpiParams {
 
 struct MachineParams {
   MemoryParams mem;
+  TopologyParams topo;
   NetworkParams net;
   LapiParams lapi;
   MpiParams mpi_ibm;
@@ -104,28 +152,14 @@ struct MachineParams {
   }
 
   /// Default profile: IBM SP, 16-way NightHawk II nodes, Colony switch.
+  /// Flat crossbar node: all topology factors 1.0.
   static MachineParams ibm_sp();
+
+  /// A NUMA-ish multi-socket SMP (2 sockets x 2 L3 slices x 4 cores): much
+  /// faster memory and network than the SP, but cross-socket and dirty-line
+  /// transfers cost real multiples — the regime where topology-aware trees
+  /// earn their keep.
+  static MachineParams modern_smp();
 };
-
-inline MachineParams MachineParams::ibm_sp() {
-  MachineParams p;
-  // IBM MPI: tuned vendor library — lower software overheads, adaptive
-  // eager limit. MPICH (over MPL over MPCI): one more software layer —
-  // higher per-call and per-match costs, fixed eager limit.
-  p.mpi_ibm.call_overhead = sim::us(1) + sim::ns(500);
-  p.mpi_ibm.match_cost = sim::ns(1000);
-  p.mpi_ibm.layer_overhead = sim::us(1) + sim::ns(500);
-  p.mpi_ibm.eager_scales_with_tasks = true;
-  p.mpi_ibm.allreduce_rd_max = 16 * 1024;
-
-  p.mpi_mpich.call_overhead = sim::us(2) + sim::ns(500);
-  p.mpi_mpich.match_cost = sim::ns(1600);
-  p.mpi_mpich.layer_overhead = sim::us(2) + sim::ns(500);
-  p.mpi_mpich.shm_per_chunk = sim::ns(700);
-  p.mpi_mpich.eager_scales_with_tasks = false;
-  p.mpi_mpich.eager_limit_base = 4096;
-  p.mpi_mpich.allreduce_rd_max = 0;  // reduce+broadcast at every size
-  return p;
-}
 
 }  // namespace srm::machine

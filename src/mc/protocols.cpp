@@ -428,6 +428,330 @@ struct Builder {
     }
     return res;
   }
+
+  // --- single-copy (core/single_copy.cpp): shm::Mapping window handshake ---
+  //
+  // A window is {buf, pub flag, done counter}. publish = write buf + set pub
+  // (release); attach = await pub (acquire); detach = done+=1; retract =
+  // await done >= readers, then the owner's next write of the buffer — the
+  // reuse that retract makes legal, and the access every retract bug races.
+
+  /// Mapped SMP broadcast cascade on node n (smp_bcast_mapped): the owner
+  /// exports its user buffer; with >= 3 tasks local 1 acts as the interior
+  /// relay of the topology tree and re-exports its copy for the leaves.
+  void mapped_cascade(int n) {
+    if (T() == 1) return;  // nothing to fan out
+    int owner = rk(n, 0);
+    int win = p.buf(id("win" + num(n) + ".0"));
+    int pubv = p.var(id("mpub" + num(n) + ".0"));
+    int donev = p.var(id("mdone" + num(n) + ".0"));
+    bool relay_on = T() >= 3;
+    // Owner: publish (produce the data, then release the generation flag).
+    p.write(owner, win, 0, W());
+    p.set(owner, pubv, 1);
+    if (!relay_on) {
+      for (int l = 1; l < T(); ++l) {
+        int t = rk(n, l);
+        p.await_ge(t, pubv, 1);
+        p.read(t, win, 0, W());
+        p.add(t, donev, 1);
+      }
+    } else {
+      int relay = rk(n, 1);
+      p.await_ge(relay, pubv, 1);
+      p.read(relay, win, 0, W());
+      p.add(relay, donev, 1);  // detach before re-exporting, like the code
+      int win2 = p.buf(id("win" + num(n) + ".1"));
+      int pub2 = p.var(id("mpub" + num(n) + ".1"));
+      int done2 = p.var(id("mdone" + num(n) + ".1"));
+      p.write(relay, win2, 0, W());
+      p.set(relay, pub2, 1);
+      for (int l = 2; l < T(); ++l) {
+        int t = rk(n, l);
+        p.await_ge(t, pub2, 1);
+        p.read(t, win2, 0, W());
+        p.add(t, done2, 1);
+      }
+      p.await_ge(relay, done2, static_cast<std::uint64_t>(T()) - 2);
+      p.write(relay, win2, 0, W());  // retract: the buffer is private again
+    }
+    p.await_ge(owner, donev, relay_on ? 1 : static_cast<std::uint64_t>(T()) - 1);
+    p.write(owner, win, 0, W());  // retract: owner may reuse immediately
+  }
+
+  /// Single-copy broadcast: root node fans out through one whole-message
+  /// window (after the network puts are on the wire); a second node keeps
+  /// the staged landing-pair protocol, exactly like bcast_small.
+  void sc_bcast() {
+    if (sh.nodes == 2) {
+      int root = rk(0, 0), child = rk(1, 0);
+      int put01 = p.chan(id("put01")), cred10 = p.chan(id("cred10"));
+      for (int c = 0; c < C(); ++c) {
+        int s = c % 2;
+        int freev = p.var(id("free.s" + num(s)), 1);
+        int arrv = p.var(id("arr.s" + num(s)));
+        int land = p.buf(id("land.s" + num(s)));
+        p.wait_dec(root, freev, 1);
+        p.send(root, put01);  // sourced from the (private) user buffer
+        p.recv(nic(1), put01);
+        p.write(nic(1), land, 0, W());
+        p.add(nic(1), arrv, 1);
+        p.wait_dec(child, arrv, 1);
+        smp_shared_chunk(1, c, land);
+        for (int l = 1; l < T(); ++l) p.await_eq(child, ready(1, s, l), 0);
+        p.send(child, cred10);
+        p.recv(nic(0), cred10);
+        p.add(nic(0), freev, 1);
+      }
+    }
+    mapped_cascade(0);
+  }
+
+  /// Single-copy reduce: leaves export their send buffers once; with >= 3
+  /// tasks local 1 is the interior vertex combining leaf windows into its
+  /// sc_acc slot pair (gated like red_slot); the leader combines out of the
+  /// relay's slots (or the leaf window directly) with no staging copy.
+  int sc_reduce() {
+    int res = p.buf(id("res0"));
+    auto win = [&](int n, int l) {
+      return p.buf(id("rwin" + num(n) + "[" + num(l) + "]"));
+    };
+    auto wpub = [&](int n, int l) {
+      return p.var(id("rwpub" + num(n) + "[" + num(l) + "]"));
+    };
+    auto wdone = [&](int n, int l) {
+      return p.var(id("rwdone" + num(n) + "[" + num(l) + "]"));
+    };
+    auto acc = [&](int n, int s) {
+      return p.buf(id("acc" + num(n) + ".s" + num(s)));
+    };
+    auto apub = [&](int n) { return p.var(id("apub" + num(n))); };
+    auto acons = [&](int n, int s) {
+      return p.var(id("acons" + num(n) + ".s" + num(s)));
+    };
+    bool relay_on = T() >= 3;
+    std::vector<int> leaves;
+    for (int l = relay_on ? 2 : 1; l < T(); ++l) leaves.push_back(l);
+
+    int redfree = -1, outorg = -1, oput1 = -1, data10 = -1, cred01 = -1;
+    if (sh.nodes == 2) {
+      redfree = p.var(id("free"), 2);
+      outorg = p.var(id("outorg"));
+      oput1 = p.chan(id("oput1"));
+      data10 = p.chan(id("data10"));
+      cred01 = p.chan(id("cred01"));
+    }
+
+    // Publish + attach once per operation, before the chunk loop: leaves
+    // export their whole send buffer; the vertex above them acquires it.
+    for (int n = 0; n < sh.nodes; ++n) {
+      if (T() == 1) continue;
+      for (int l : leaves) {
+        int t = rk(n, l);
+        p.write(t, win(n, l), 0, W());
+        p.set(t, wpub(n, l), 1);
+      }
+      int rd = relay_on ? rk(n, 1) : rk(n, 0);
+      for (int l : leaves) p.await_ge(rd, wpub(n, l), 1);
+    }
+
+    int inflight = 0;
+    for (int c = 0; c < C(); ++c) {
+      int s = c % 2;
+      for (int n = 0; n < sh.nodes; ++n) {
+        if (relay_on) {
+          // Interior vertex: slot-reuse gate, combine straight out of the
+          // leaf windows (no per-chunk wait — they are static), publish.
+          int rl = rk(n, 1);
+          if (c >= 2) {
+            p.await_ge(rl, acons(n, s), static_cast<std::uint64_t>(c / 2));
+          }
+          for (int l : leaves) p.read(rl, win(n, l), 0, W());
+          p.write(rl, acc(n, s), 0, W());
+          p.add(rl, apub(n), 1);
+        }
+        int ld = rk(n, 0);
+        if (n == 1 && inflight == 2) {
+          p.wait_dec(ld, outorg, 1);
+          --inflight;
+        }
+        int dst = n == 0 ? res : p.buf(id("out.s" + num(s)));
+        if (T() == 1) {
+          p.write(ld, dst, 0, W());
+        } else if (relay_on) {
+          p.await_ge(ld, apub(n), static_cast<std::uint64_t>(c) + 1);
+          p.read(ld, acc(n, s), 0, W());
+          p.write(ld, dst, 0, W());
+          p.add(ld, acons(n, s), 1);
+        } else {
+          p.read(ld, win(n, 1), 0, W());  // leaf window, attached up front
+          p.write(ld, dst, 0, W());
+        }
+      }
+      if (sh.nodes == 2) {
+        int child = rk(1, 0), ld0 = rk(0, 0);
+        int out = p.buf(id("out.s" + num(s)));
+        int rland = p.buf(id("land.s" + num(s)));
+        int arrived = p.var(id("arr"));
+        p.wait_dec(child, redfree, 1);
+        p.send(child, oput1);
+        ++inflight;
+        int a = adp(1);
+        p.recv(a, oput1);
+        p.read(a, out, 0, W());
+        p.add(a, outorg, 1);
+        p.send(a, data10);
+        p.recv(nic(0), data10);
+        p.write(nic(0), rland, 0, W());
+        p.add(nic(0), arrived, 1);
+        p.wait_dec(ld0, arrived, 1);
+        p.read(ld0, rland, 0, W());
+        p.write(ld0, res, 0, W());
+        p.send(ld0, cred01);
+        p.recv(nic(1), cred01);
+        p.add(nic(1), redfree, 1);
+      }
+    }
+    if (inflight > 0) {
+      p.wait_dec(rk(1, 0), outorg, static_cast<std::uint64_t>(inflight));
+    }
+    // Detach + retract: only after the reader's counter may a leaf reuse
+    // its send buffer.
+    for (int n = 0; n < sh.nodes; ++n) {
+      if (T() == 1) continue;
+      int rd = relay_on ? rk(n, 1) : rk(n, 0);
+      for (int l : leaves) p.add(rd, wdone(n, l), 1);
+      for (int l : leaves) {
+        int t = rk(n, l);
+        p.await_ge(t, wdone(n, l), 1);
+        p.write(t, win(n, l), 0, W());
+      }
+    }
+    return res;
+  }
+
+  /// Single-copy scatter: the root exports its own node block before the
+  /// network loop; root-node peers pull their slice straight out of the
+  /// window; a second node keeps the staged slice protocol.
+  void sc_scatter() {
+    int root = rk(0, 0);
+    int win = p.buf(id("swin0"));
+    int pubv = p.var(id("spub0"));
+    int donev = p.var(id("sdone0"));
+    p.write(root, win, 0, W());
+    p.set(root, pubv, 1);
+    for (int c = 0; c < C(); ++c) {
+      int s = c % 2;
+      if (sh.nodes == 2) {
+        int freev = p.var(id("free.s" + num(s)), 1);
+        p.wait_dec(root, freev, 1);
+        p.send(root, p.chan(id("put01")));  // other node's block: private
+        p.recv(nic(1), p.chan(id("put01")));
+        p.write(nic(1), p.buf(id("land.s" + num(s))), 0, W());
+        p.add(nic(1), p.var(id("arr.s" + num(s))), 1);
+        int child = rk(1, 0);
+        p.wait_dec(child, p.var(id("arr.s" + num(s))), 1);
+        smp_shared_chunk(1, c, p.buf(id("land.s" + num(s))), /*slice=*/true);
+        for (int l = 1; l < T(); ++l) p.await_eq(child, ready(1, s, l), 0);
+        p.send(child, p.chan(id("cred10")));
+        p.recv(nic(0), p.chan(id("cred10")));
+        p.add(nic(0), p.var(id("free.s" + num(s)), 1), 1);
+      }
+    }
+    for (int l = 1; l < T(); ++l) {
+      int t = rk(0, l);
+      p.await_ge(t, pubv, 1);
+      p.read(t, win, static_cast<std::uint64_t>(l),
+             static_cast<std::uint64_t>(l) + 1);
+      p.add(t, donev, 1);
+    }
+    p.read(root, win, 0, 1);  // root's own slice
+    if (T() > 1) {
+      p.await_ge(root, donev, static_cast<std::uint64_t>(T()) - 1);
+    }
+    p.write(root, win, 0, W());  // retract: the send buffer is reusable
+  }
+
+  /// Single-copy gather: root-node locals export their send blocks; the
+  /// root pulls each straight into the receive buffer (no staging slot);
+  /// a second node keeps the staged filled/freed protocol.
+  int sc_gather() {
+    int res = p.buf(id("grecv"));
+    int root = rk(0, 0);
+    auto win = [&](int l) { return p.buf(id("gwin0[" + num(l) + "]")); };
+    auto wpub = [&](int l) { return p.var(id("gwpub0[" + num(l) + "]")); };
+    auto wdone = [&](int l) { return p.var(id("gwdone0[" + num(l) + "]")); };
+    for (int l = 1; l < T(); ++l) {
+      int t = rk(0, l);
+      p.write(t, win(l), 0, 1);
+      p.set(t, wpub(l), 1);
+    }
+    p.write(root, res, 0, 1);  // root's own block
+    for (int l = 1; l < T(); ++l) {
+      p.await_ge(root, wpub(l), 1);
+      p.read(root, win(l), 0, 1);
+      p.write(root, res, static_cast<std::uint64_t>(l),
+              static_cast<std::uint64_t>(l) + 1);
+      p.add(root, wdone(l), 1);
+    }
+    for (int l = 1; l < T(); ++l) {
+      int t = rk(0, l);
+      p.await_ge(t, wdone(l), 1);
+      p.write(t, win(l), 0, 1);  // retract: reuse the send buffer
+    }
+    if (sh.nodes == 2) {
+      // The child node ships its blocks with the staged protocol: address
+      // announce, staging pair with filled/freed counters, direct puts.
+      auto filled = [&](int s) { return p.var(id("filled1.s" + num(s))); };
+      auto freed = [&](int s) { return p.var(id("freed1.s" + num(s))); };
+      auto stage = [&](int s) { return p.buf(id("stage1.s" + num(s))); };
+      p.send(root, p.chan(id("addr01")));
+      p.recv(nic(1), p.chan(id("addr01")));
+      p.add(nic(1), p.var(id("addrarr")), 1);
+      p.wait_dec(rk(1, 0), p.var(id("addrarr")), 1);
+      int outorg = p.var(id("outorg"));
+      int oput1 = p.chan(id("oput1"));
+      int gdata = p.chan(id("gdata"));
+      int gdone = p.var(id("done"));
+      std::vector<int> inflight_slots;
+      for (int c = 0; c < C(); ++c) {
+        int s = c % 2;
+        for (int l = 0; l < T(); ++l) {
+          int t = rk(1, l);
+          p.await_ge(t, freed(s), static_cast<std::uint64_t>(c / 2));
+          p.write(t, stage(s), static_cast<std::uint64_t>(l),
+                  static_cast<std::uint64_t>(l) + 1);
+          p.add(t, filled(s), 1);
+        }
+        int ld = rk(1, 0);
+        p.await_ge(ld, filled(s),
+                   static_cast<std::uint64_t>(c / 2 + 1) *
+                       static_cast<std::uint64_t>(T()));
+        p.send(ld, oput1);
+        int a = adp(1);
+        p.recv(a, oput1);
+        p.read(a, stage(s), 0, W());
+        p.add(a, outorg, 1);
+        p.send(a, gdata);
+        p.recv(nic(0), gdata);
+        p.write(nic(0), res, W(), 2 * W());
+        p.add(nic(0), gdone, 1);
+        inflight_slots.push_back(s);
+        if (inflight_slots.size() >= 2) {
+          p.wait_dec(ld, outorg, 1);
+          p.add(ld, freed(inflight_slots.front()), 1);
+          inflight_slots.erase(inflight_slots.begin());
+        }
+      }
+      while (!inflight_slots.empty()) {
+        p.wait_dec(rk(1, 0), outorg, 1);
+        p.add(rk(1, 0), freed(inflight_slots.front()), 1);
+        inflight_slots.erase(inflight_slots.begin());
+      }
+      p.wait_dec(root, gdone, static_cast<std::uint64_t>(C()));
+    }
+    return res;
+  }
 };
 
 void emit(Program& p, Proto op, const Shape& sh) {
@@ -462,6 +786,18 @@ void emit(Program& p, Proto op, const Shape& sh) {
       Builder{p, sh, "sc."}.scatter(res);
       break;
     }
+    case Proto::sc_bcast:
+      Builder{p, sh, ""}.sc_bcast();
+      break;
+    case Proto::sc_reduce:
+      Builder{p, sh, ""}.sc_reduce();
+      break;
+    case Proto::sc_scatter:
+      Builder{p, sh, ""}.sc_scatter();
+      break;
+    case Proto::sc_gather:
+      Builder{p, sh, ""}.sc_gather();
+      break;
   }
 }
 
@@ -495,15 +831,20 @@ const char* proto_name(Proto p) {
     case Proto::gather: return "gather";
     case Proto::allgather: return "allgather";
     case Proto::reduce_scatter: return "reduce_scatter";
+    case Proto::sc_bcast: return "sc_bcast";
+    case Proto::sc_reduce: return "sc_reduce";
+    case Proto::sc_scatter: return "sc_scatter";
+    case Proto::sc_gather: return "sc_gather";
   }
   return "?";
 }
 
 const std::vector<Proto>& all_protos() {
   static const std::vector<Proto> kAll = {
-      Proto::barrier,  Proto::bcast,     Proto::reduce,
-      Proto::allreduce, Proto::scatter,  Proto::gather,
-      Proto::allgather, Proto::reduce_scatter};
+      Proto::barrier,   Proto::bcast,          Proto::reduce,
+      Proto::allreduce, Proto::scatter,        Proto::gather,
+      Proto::allgather, Proto::reduce_scatter, Proto::sc_bcast,
+      Proto::sc_reduce, Proto::sc_scatter,     Proto::sc_gather};
   return kAll;
 }
 
@@ -629,6 +970,69 @@ std::vector<Mutant> mutation_gauntlet() {
     Mutant m = make_mutant("scatter.credit_before_clear", Proto::scatter,
                            Shape{2, 2, 3}, true, false);
     m.program.swap_with_prev("r1.0", "send cred10");
+    add(std::move(m));
+  }
+  // Mapped broadcast: the owner reusing its buffer without awaiting the
+  // readers' detach counters (skipped retract) races the window pulls.
+  {
+    Mutant m = make_mutant("sc_bcast.reuse_before_retract", Proto::sc_bcast,
+                           Shape{1, 2, 1}, true, false);
+    m.program.drop_op("r0.0", "await mdone0.0>=1");
+    add(std::move(m));
+  }
+  // Mapped broadcast: a leaf attaching without the publish acquire reads
+  // the relay's re-exported window before (or while) the relay fills it.
+  {
+    Mutant m = make_mutant("sc_bcast.attach_before_publish", Proto::sc_bcast,
+                           Shape{1, 3, 1}, true, false);
+    m.program.drop_op("r0.2", "await mpub0.1>=1");
+    add(std::move(m));
+  }
+  // Mapped broadcast: a reader that never detaches wedges the owner's
+  // retract forever.
+  {
+    Mutant m = make_mutant("sc_bcast.drop_detach", Proto::sc_bcast,
+                           Shape{1, 2, 1}, false, true);
+    m.program.drop_op("r0.1", "mdone0.0+=1");
+    add(std::move(m));
+  }
+  // Mapped reduce: a leaf releasing the publish flag before writing its
+  // send buffer lets the reader combine garbage.
+  {
+    Mutant m = make_mutant("sc_reduce.publish_before_write", Proto::sc_reduce,
+                           Shape{1, 2, 1}, true, false);
+    m.program.swap_with_prev("r0.1", "rwpub0[1]:=1");
+    add(std::move(m));
+  }
+  // Mapped reduce: the reader never detaching wedges the leaf's retract.
+  {
+    Mutant m = make_mutant("sc_reduce.drop_detach", Proto::sc_reduce,
+                           Shape{1, 2, 1}, false, true);
+    m.program.drop_op("r0.0", "rwdone0[1]+=1");
+    add(std::move(m));
+  }
+  // Mapped reduce slot reuse: the interior vertex skipping the consumed
+  // gate overwrites an accumulator slot the leader is still reading.
+  {
+    Mutant m = make_mutant("sc_reduce.drop_acons_gate", Proto::sc_reduce,
+                           Shape{1, 3, 3}, true, false);
+    m.program.drop_op("r0.1", "await acons0.s0>=1");
+    add(std::move(m));
+  }
+  // Mapped scatter: the root reusing its send buffer before all slices
+  // were pulled out of the window.
+  {
+    Mutant m = make_mutant("sc_scatter.reuse_before_retract",
+                           Proto::sc_scatter, Shape{1, 2, 1}, true, false);
+    m.program.drop_op("r0.0", "await sdone0>=1");
+    add(std::move(m));
+  }
+  // Mapped gather: a local releasing the publish flag before writing its
+  // block lets the root assemble garbage.
+  {
+    Mutant m = make_mutant("sc_gather.publish_before_write", Proto::sc_gather,
+                           Shape{1, 2, 1}, true, false);
+    m.program.swap_with_prev("r0.1", "gwpub0[1]:=1");
     add(std::move(m));
   }
   return out;

@@ -1,4 +1,5 @@
-// srm::mc — IR models of the eight SRM collectives.
+// srm::mc — IR models of the SRM collectives (eight staged protocols plus
+// the four single-copy cross-mapped variants).
 //
 // build() emits the synchronization skeleton that src/core actually executes
 // (smp.cpp / bcast.cpp / reduce.cpp / barrier.cpp / gather_scatter.cpp /
@@ -18,7 +19,12 @@
 //     check); shared staging/landing/slot buffers all do;
 //   * an origin counter ("put has left the adapter") is modeled as the
 //     origin node's nic re-reading the source buffer and bumping the
-//     counter, which is exactly the reuse hazard the counter guards.
+//     counter, which is exactly the reuse hazard the counter guards;
+//   * a shm::Mapping window is a shared buffer plus a publish generation
+//     flag and a detach counter: the owner writes the buffer and releases
+//     the flag (publish), peers acquire it, read, and bump the counter
+//     (attach/copy/detach), and the owner's trailing write after awaiting
+//     the counter models the buffer reuse that retract() makes legal.
 #pragma once
 
 #include <string>
@@ -45,10 +51,16 @@ enum class Proto : std::uint8_t {
   gather,
   allgather,
   reduce_scatter,
+  // Single-copy cross-mapped variants (core/single_copy.cpp): user buffers
+  // exported as shm::Mapping windows, peers copy/combine straight across.
+  sc_bcast,
+  sc_reduce,
+  sc_scatter,
+  sc_gather,
 };
-inline constexpr int kProtoCount = 8;
+inline constexpr int kProtoCount = 12;
 const char* proto_name(Proto p);
-/// All eight, in a stable order.
+/// All twelve, in a stable order.
 const std::vector<Proto>& all_protos();
 
 /// Build the synchronization skeleton of @p p on @p shape (nodes must be 1

@@ -180,5 +180,86 @@ TEST(Ops, DtypeSizes) {
   EXPECT_EQ(dtype_size(Dtype::i64), 8u);
 }
 
+machine::TopologyParams two_socket() {
+  machine::TopologyParams tp;
+  tp.cores_per_l3 = 4;
+  tp.l3_per_socket = 2;
+  tp.sockets = 2;
+  return tp;
+}
+
+TEST(TopoTree, SingleDomainIsFlat) {
+  machine::TopologyParams tp;  // one 16-core crossbar domain
+  Tree t = topo_tree(tp, 8, 3);
+  t.validate();
+  for (int v = 0; v < 8; ++v) {
+    if (v != 3) {
+      EXPECT_EQ(t.parent[static_cast<std::size_t>(v)], 3);
+    }
+  }
+}
+
+TEST(TopoTree, SingleDomainBinomialMatchesBinomialTree) {
+  machine::TopologyParams tp;
+  for (int root : {0, 5}) {
+    Tree t = topo_tree(tp, 16, root, /*binomial=*/true);
+    Tree b = binomial_tree(16, root);
+    EXPECT_EQ(t.parent, b.parent) << "root=" << root;
+  }
+}
+
+TEST(TopoTree, EveryDomainBoundaryCrossedExactlyOnce) {
+  machine::TopologyParams tp = two_socket();
+  for (bool binomial : {false, true}) {
+    for (int root : {0, 5}) {
+      Tree t = topo_tree(tp, 16, root, binomial);
+      t.validate();
+      int cross_socket = 0;
+      int cross_l3 = 0;
+      for (int v = 0; v < 16; ++v) {
+        int p = t.parent[static_cast<std::size_t>(v)];
+        if (p < 0) continue;
+        if (tp.socket_of(v) != tp.socket_of(p)) {
+          ++cross_socket;
+        } else if (tp.l3_of(v) != tp.l3_of(p)) {
+          ++cross_l3;
+        }
+      }
+      // One edge into each non-root socket; one edge into each L3 slice
+      // that is not its socket leader's own.
+      EXPECT_EQ(cross_socket, tp.sockets - 1)
+          << "root=" << root << " binomial=" << binomial;
+      EXPECT_EQ(cross_l3, tp.sockets * (tp.l3_per_socket - 1))
+          << "root=" << root << " binomial=" << binomial;
+    }
+  }
+}
+
+TEST(TopoTree, RootLeadsItsOwnDomains) {
+  machine::TopologyParams tp = two_socket();
+  // Root 5 lives in L3 slice 1 of socket 0: it must head both, with no
+  // detour through the lowest-numbered task.
+  Tree t = topo_tree(tp, 16, 5);
+  t.validate();
+  EXPECT_EQ(t.parent[5], -1);
+  // The other socket's leader (its lowest task) hangs directly off the root.
+  EXPECT_EQ(t.parent[8], 5);
+  // Socket 0's other L3 slice (tasks 0..3) is led by task 0, also off root.
+  EXPECT_EQ(t.parent[0], 5);
+}
+
+TEST(TopoTree, TruncatedNodeStaysSpanning) {
+  // Fewer local tasks than the described topology: domains simply go
+  // unpopulated and the tree still spans.
+  machine::TopologyParams tp = two_socket();
+  for (int n : {3, 6, 11}) {
+    for (bool binomial : {false, true}) {
+      Tree t = topo_tree(tp, n, 0, binomial);
+      t.validate();
+      EXPECT_EQ(t.subtree_size(0), n);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace srm::coll

@@ -33,10 +33,10 @@ struct Moves {
   std::uint64_t combines;
 };
 
-Moves srm_reduce_moves(int p, std::size_t count) {
+Moves srm_reduce_moves(int p, std::size_t count, SrmConfig cfg = {}) {
   Cluster cluster(one_node(p));
   lapi::Fabric fabric(cluster);
-  Communicator comm(cluster, fabric);
+  Communicator comm(cluster, fabric, cfg);
   std::vector<double> out(count, 0.0);
   cluster.run([&](TaskCtx& t) -> CoTask {
     std::vector<double> mine(count, 1.0 * t.rank);
@@ -167,6 +167,56 @@ TEST_F(CopyCounts, PerNodeAttribution) {
   EXPECT_EQ(total, split);
   EXPECT_GT(reg.counter("mem.copy", 0).count, 0u);
   EXPECT_GT(reg.counter("mem.copy", 1).count, 0u);
+}
+
+// --- single-copy (cross-mapped) vs staged ----------------------------------
+
+SrmConfig mapped_cfg() {
+  SrmConfig cfg;
+  cfg.single_copy = true;
+  cfg.single_copy_min = 1;
+  return cfg;
+}
+
+Moves srm_bcast_moves(int p, std::size_t bytes, SrmConfig cfg) {
+  Cluster cluster(one_node(p));
+  lapi::Fabric fabric(cluster);
+  Communicator comm(cluster, fabric, cfg);
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<char> buf(bytes, static_cast<char>(t.rank == 0));
+    co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
+  });
+  return {cluster.obs().count("mem.copy"), cluster.obs().count("mem.combine")};
+}
+
+TEST_F(CopyCounts, MappedBcastCopiesOncePerConsumer) {
+  // The staging hop gone: the root exports its user buffer and each of the
+  // N-1 consumers pulls straight out of it — N-1 copies total, versus the
+  // staged path's copy-in plus N-1 copy-outs.
+  Moves staged = srm_bcast_moves(8, 1024, {});
+  Moves mapped = srm_bcast_moves(8, 1024, mapped_cfg());
+  EXPECT_EQ(staged.copies, 8u);
+  EXPECT_EQ(mapped.copies, 7u);
+
+  // Pairwise it is the textbook claim: one copy where staging needs two
+  // (N-1 vs 2(N-1) for N=2).
+  Moves staged2 = srm_bcast_moves(2, 1024, {});
+  Moves mapped2 = srm_bcast_moves(2, 1024, mapped_cfg());
+  EXPECT_EQ(staged2.copies, 2u);
+  EXPECT_EQ(mapped2.copies, 1u);
+}
+
+TEST_F(CopyCounts, MappedReduceIsPureOperatorExecution) {
+  // Leaves export their send buffers instead of copying into staging slots:
+  // the whole intra-node reduce is p-1 combines and zero memory copies,
+  // where the staged tree pays one copy per leaf.
+  for (int p : {2, 4, 8, 16}) {
+    Moves staged = srm_reduce_moves(p, 10);
+    Moves mapped = srm_reduce_moves(p, 10, mapped_cfg());
+    EXPECT_EQ(mapped.copies, 0u) << "p=" << p;
+    EXPECT_EQ(mapped.combines, static_cast<std::uint64_t>(p - 1)) << "p=" << p;
+    EXPECT_GT(staged.copies, mapped.copies) << "p=" << p;
+  }
 }
 
 }  // namespace
