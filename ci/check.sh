@@ -16,6 +16,10 @@
 #                    re-run under SRM_SV_SELFCHECK=1 so the recorded traces
 #                    are checked against the declared comm skeletons; also
 #                    runnable alone via `ci/check.sh sv`
+#   1d. tune       — autotuner mini-sweep on both machine profiles with
+#                    --check (JSON round-trip + tuned-never-loses gates)
+#                    under SRM_SV_SELFCHECK=1; also runnable alone via
+#                    `ci/check.sh tune`
 #   2. sanitize    — ASan+UBSan build, full ctest
 #   3. chk-off     — SRM_CHK=OFF build (checker compiled out), full ctest
 #   4. tidy        — clang-tidy over src/ with warnings-as-errors (enforced
@@ -76,6 +80,28 @@ run_perf_gate() {
   # Single-copy ablation, smoke sizes: exercises the mapped protocols on
   # both machine profiles so a broken window path fails the gate loudly.
   (cd "$dir/bench" && ./abl_single_copy --smoke >/dev/null)
+  # Tuner ablation: the instrumented tuned-dispatch run (modern_smp 8x16) is
+  # deterministic and identical under --smoke, so the smoke pass gates the
+  # full decision-table dispatch path against its checked-in baseline.
+  cmake --build "$dir" -j "$JOBS" --target abl_tuner >/dev/null
+  (cd "$dir/bench" && ./abl_tuner --smoke >/dev/null)
+  python3 ci/perf_gate.py BENCH_abl_tuner.json \
+    "$dir/bench/BENCH_abl_tuner.json" --tol "${SRM_PERF_TOL:-0.15}"
+}
+
+run_tune() {
+  local dir="build-ci/default"
+  echo "=== [tune] autotuner mini-sweep + decision-table self-consistency ==="
+  cmake -B "$dir" -S . -DSRM_CHK=ON -DSRM_MC=ON >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target tune >/dev/null
+  # The mini-sweep runs under the sv self-check so every candidate Bench also
+  # verifies its declared comm skeletons; --check additionally asserts the
+  # JSON round-trip is exact and the tuned pick never loses to the builtin.
+  (cd "$dir/bench" && SRM_SV_SELFCHECK=1 \
+    ./tune --smoke --check --profile ibm_sp --out tuned_ibm_sp.json >/dev/null)
+  (cd "$dir/bench" && SRM_SV_SELFCHECK=1 \
+    ./tune --smoke --check --profile modern_smp --out tuned_modern_smp.json \
+    >/dev/null)
 }
 
 run_sv() {
@@ -116,9 +142,16 @@ if [[ "$MODE" == "sv" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "tune" ]]; then
+  run_tune
+  echo "=== tune stage passed ==="
+  exit 0
+fi
+
 run_stage default -DSRM_CHK=ON -DSRM_MC=ON
 run_perf_gate
 run_sv
+run_tune
 
 if [[ "$MODE" != "fast" ]]; then
   run_stage sanitize -DSRM_CHK=ON -DSRM_SANITIZE=address,undefined

@@ -117,11 +117,19 @@ CallSig sig_of(CollKind op, const Buf& b, int root = kNoRoot,
 // Span-wrapping shim: opens an args-carrying span on the rank's timeline
 // and forwards to the backend task. Lazy like every CoTask — the span
 // opens when the caller first resumes the collective, closes when the
-// frame (and the Span inside it) is destroyed after completion.
-sim::CoTask traced_call(machine::TaskCtx& t, CallSig sig, sim::CoTask inner) {
+// frame (and the Span inside it) is destroyed after completion. @p algo
+// (the backend's v_algo answer) is spliced into the signature args so
+// traces name the zoo member that ran.
+sim::CoTask traced_call(machine::TaskCtx& t, CallSig sig, std::string algo,
+                        sim::CoTask inner) {
+  std::string args = sig.args_json();
+  if (!algo.empty()) {
+    args.pop_back();  // strip the closing '}'
+    args += ",\"algo\":\"" + algo + "\"}";
+  }
   // cppcheck-suppress unreadVariable  // RAII: closes the span at frame exit
   obs::Span span(*t.obs, t.rank, std::string("coll.") + coll_name(sig.op),
-                 sig.args_json());
+                 std::move(args));
   co_await inner;
 }
 
@@ -131,7 +139,7 @@ sim::CoTask Collectives::dispatch(machine::TaskCtx& t, const CallSig& sig,
                                   sim::CoTask inner) {
   if (sink_ != nullptr) sink_->on_call(t.rank, t.nranks(), sig);
   if (t.obs != nullptr && t.obs->trace_enabled())
-    return traced_call(t, sig, std::move(inner));
+    return traced_call(t, sig, v_algo(t, sig), std::move(inner));
   return inner;
 }
 

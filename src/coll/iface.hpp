@@ -88,6 +88,18 @@ class Collectives {
   virtual sim::CoTask v_reduce_scatter(machine::TaskCtx& t, Buf send, Buf recv,
                                        RedOp op) = 0;
 
+  /// Name of the algorithm the backend will run for @p sig (decision-table
+  /// lookup for SRM, the fixed composition for mini-MPI). Called by
+  /// dispatch() before the backend task starts; the name is recorded in the
+  /// "coll.<op>" obs span args so traces show which zoo member ran. Return
+  /// "" (the default) to record nothing.
+  virtual std::string v_algo(const machine::TaskCtx& t,
+                             const CallSig& sig) const {
+    (void)t;
+    (void)sig;
+    return {};
+  }
+
  private:
   /// Record @p sig with the sink, then return @p inner — wrapped in a
   /// span-opening coroutine when obs tracing is enabled, untouched (zero

@@ -22,9 +22,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "coll/buf.hpp"
+#include "coll/decision.hpp"
 #include "coll/ops.hpp"
 #include "coll/payload.hpp"
 #include "coll/tree.hpp"
@@ -54,11 +57,16 @@ class Transport {
   Transport& operator=(const Transport&) = delete;
 
   // All 8 ops over symbolic Bufs. Callers (backend v_* hooks) have already
-  // validated the descriptors at the API boundary.
-  sim::CoTask bcast(machine::TaskCtx& t, Buf buf, int root);
+  // validated the descriptors at the API boundary. bcast/reduce/allreduce
+  // optionally take the backend's coll::Decision so the symbolic plane
+  // replays the same algorithm (and internode tree) the real plane would
+  // pick; without one they fall back to the Profile's defaults.
+  sim::CoTask bcast(machine::TaskCtx& t, Buf buf, int root,
+                    std::optional<Decision> dec = std::nullopt);
   sim::CoTask reduce(machine::TaskCtx& t, Buf send, Buf recv, RedOp op,
-                     int root);
-  sim::CoTask allreduce(machine::TaskCtx& t, Buf send, Buf recv, RedOp op);
+                     int root, std::optional<Decision> dec = std::nullopt);
+  sim::CoTask allreduce(machine::TaskCtx& t, Buf send, Buf recv, RedOp op,
+                        std::optional<Decision> dec = std::nullopt);
   sim::CoTask barrier(machine::TaskCtx& t);
   sim::CoTask scatter(machine::TaskCtx& t, Buf send, Buf recv, int root);
   sim::CoTask gather(machine::TaskCtx& t, Buf send, Buf recv, int root);
@@ -76,7 +84,7 @@ class Transport {
   NodeOp& op_state(int node, std::uint64_t seq);
   void finish(int node, std::uint64_t seq, int nlocal);
   std::uint64_t next_seq(machine::TaskCtx& t);
-  const Tree& tree(int root_node);
+  const Tree& tree(TreeKind kind, int root_node);
 
   // Core phase runners, generalized over nb = blocks each rank handles
   // (1 for the plain ops; nranks for allgather's distribution phase and
@@ -84,11 +92,25 @@ class Transport {
   // root rank only; every rank writes its own user payload.
   sim::CoTask bcast_run(machine::TaskCtx& t, std::uint64_t seq, int root,
                         std::size_t nb, std::size_t bb, const Payload* src,
-                        std::size_t s0, Payload* dst, std::size_t d0);
+                        std::size_t s0, Payload* dst, std::size_t d0,
+                        TreeKind tk);
   sim::CoTask reduce_run(machine::TaskCtx& t, std::uint64_t seq, int root,
                          std::size_t nb, std::size_t bb, Dtype d, RedOp op,
                          const Payload& send, std::size_t s0, Payload* out,
-                         std::size_t o0);
+                         std::size_t o0, TreeKind tk);
+  // Zoo cost runners: the ring / recursive-halving allreduce and the
+  // scatter+allgather bcast replayed at block granularity over the leaders.
+  sim::CoTask ring_allreduce_run(machine::TaskCtx& t, std::uint64_t seq,
+                                 std::size_t bb, Dtype d, RedOp op,
+                                 const Payload& send, std::size_t s0,
+                                 Payload* dst, std::size_t d0);
+  sim::CoTask rhalving_allreduce_run(machine::TaskCtx& t, std::uint64_t seq,
+                                     std::size_t bb, Dtype d, RedOp op,
+                                     const Payload& send, std::size_t s0,
+                                     Payload* dst, std::size_t d0);
+  sim::CoTask sa_bcast_run(machine::TaskCtx& t, std::uint64_t seq, int root,
+                           std::size_t bb, const Payload* src, std::size_t s0,
+                           Payload* dst, std::size_t d0);
   sim::CoTask scatter_run(machine::TaskCtx& t, std::uint64_t seq, int root,
                           std::size_t bb, const Payload* src, std::size_t s0,
                           Payload* recv, std::size_t r0);
@@ -101,7 +123,7 @@ class Transport {
   Profile p_;
   std::vector<std::uint64_t> seq_;                    // per-rank op sequence
   std::vector<std::unique_ptr<NodeSt>> nodes_;        // lazily created
-  std::map<int, Tree> trees_;                         // keyed by root node
+  std::map<std::pair<int, int>, Tree> trees_;         // keyed (kind, root)
 };
 
 }  // namespace srm::coll::sym

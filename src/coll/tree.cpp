@@ -1,6 +1,7 @@
 #include "coll/tree.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -13,8 +14,20 @@ const char* tree_kind_name(TreeKind k) {
     case TreeKind::binary: return "binary";
     case TreeKind::fibonacci: return "fibonacci";
     case TreeKind::flat: return "flat";
+    case TreeKind::bine: return "bine";
   }
   return "?";
+}
+
+bool tree_kind_from_name(std::string_view s, TreeKind& out) {
+  for (TreeKind k : {TreeKind::binomial, TreeKind::binary, TreeKind::fibonacci,
+                     TreeKind::flat, TreeKind::bine}) {
+    if (s == tree_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 int Tree::height() const {
@@ -139,12 +152,63 @@ Tree flat_tree(int n, int root) {
   return t;
 }
 
+Tree bine_tree(int n, int root) {
+  Tree t = make_empty(n, root);
+  if (n == 1) return t;
+  // Dissemination over virtual ranks: at step k every informed vertex u
+  // reaches for u + rho_k (u even) or u - rho_k (u odd), with
+  // rho_k = (1 - (-2)^(k+1)) / 3 — the negabinary distance sequence
+  // 1, -1, 3, -5, 11, ... whose partial sums tile the ring. On a power of
+  // two this informs everyone in exactly log2(n) steps; elsewhere peers can
+  // collide, so the walk is bounded and stragglers hang flat off the root.
+  std::vector<char> informed(static_cast<std::size_t>(n), 0);
+  informed[0] = 1;
+  std::vector<int> frontier{0};  // informed vertices, discovery order
+  int covered = 1;
+  std::int64_t pow = -2;  // (-2)^(k+1)
+  int max_steps = 2;
+  while ((1 << (max_steps - 2)) < n) ++max_steps;  // 2 * ceil(log2 n) slack
+  max_steps *= 2;
+  for (int k = 0; k < max_steps && covered < n; ++k) {
+    std::int64_t rho = (1 - pow) / 3;
+    pow *= -2;
+    std::size_t count = frontier.size();
+    for (std::size_t i = 0; i < count && covered < n; ++i) {
+      int u = frontier[i];
+      std::int64_t d = (u % 2 == 0) ? rho : -rho;
+      int peer = static_cast<int>(((u + d) % n + n) % n);
+      if (informed[static_cast<std::size_t>(peer)]) continue;
+      informed[static_cast<std::size_t>(peer)] = 1;
+      ++covered;
+      link(t, to_rank(u, root, n), to_rank(peer, root, n));
+      frontier.push_back(peer);
+    }
+  }
+  for (int v = 1; v < n; ++v) {
+    if (!informed[static_cast<std::size_t>(v)]) {
+      link(t, root, to_rank(v, root, n));
+    }
+  }
+  // Child lists come out of the walk in discovery order — largest subtree
+  // first. Every consumer of Tree assumes the binomial convention (smallest
+  // subtree first, so reversed fan-out sends the critical subtree earliest);
+  // re-sort to match it.
+  for (auto& kids : t.children) {
+    std::stable_sort(kids.begin(), kids.end(), [&t](int a, int b) {
+      return t.subtree_size(a) < t.subtree_size(b);
+    });
+  }
+  t.validate();
+  return t;
+}
+
 Tree build_tree(TreeKind kind, int n, int root) {
   switch (kind) {
     case TreeKind::binomial: return binomial_tree(n, root);
     case TreeKind::binary: return binary_tree(n, root);
     case TreeKind::fibonacci: return fibonacci_tree(n, root);
     case TreeKind::flat: return flat_tree(n, root);
+    case TreeKind::bine: return bine_tree(n, root);
   }
   SRM_CHECK(false);
   return {};

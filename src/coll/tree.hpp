@@ -8,6 +8,7 @@
 // log(n*p) >= log(n) + log(p).
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "machine/params.hpp"
@@ -16,9 +17,11 @@
 
 namespace srm::coll {
 
-enum class TreeKind { binomial, binary, fibonacci, flat };
+enum class TreeKind { binomial, binary, fibonacci, flat, bine };
 
 const char* tree_kind_name(TreeKind k);
+/// Parse @p s into @p out; false (out untouched) when unknown.
+bool tree_kind_from_name(std::string_view s, TreeKind& out);
 
 /// Rooted tree over vertices [0, n). Children are stored in the order a
 /// reduce expects arrivals (small subtrees first for binomial); a broadcast
@@ -44,6 +47,16 @@ Tree binomial_tree(int n, int root);
 Tree binary_tree(int n, int root);
 Tree fibonacci_tree(int n, int root);
 Tree flat_tree(int n, int root);
+
+/// Bine ("binomial negabinary", PAPERS.md 2508.17311) dissemination tree:
+/// step k connects virtual rank u to u ± rho_k (mod n) with
+/// rho_k = (1 - (-2)^(k+1)) / 3 and the sign set by u's parity, so
+/// consecutive steps alternate direction and the informed set stays
+/// contiguous on the ring — distance-1 edges dominate, which is what makes
+/// the shape locality-friendly on non-power-of-two vertex counts where the
+/// binomial tree's long edges go lopsided. Vertices the bounded dissemination
+/// misses (possible off the power of two) attach flat to the root.
+Tree bine_tree(int n, int root);
 
 /// Hierarchy-aware intra-node tree over @p n local tasks: root -> socket
 /// leaders -> L3 leaders -> cores, so every cache-domain boundary is crossed

@@ -138,9 +138,11 @@ sim::CoTask Communicator::allreduce_pipelined(machine::TaskCtx& t,
   // Reduce to rank 0 and broadcast from rank 0 run concurrently on every
   // task; at rank 0 the broadcast consumes chunks as the reduce completes
   // them (Fig. 5's four-stage pipeline).
-  coll::Embedding emb =
-      coll::embed(*t.topo, 0, cfg_.internode_tree, cfg_.intranode_tree);
   std::size_t bytes = count * coll::dtype_size(d);
+  coll::Embedding emb =
+      coll::embed(*t.topo, 0,
+                  decide(coll::CollKind::allreduce, bytes).internode,
+                  cfg_.intranode_tree);
 
   lapi::Counter chunk_done(*t.eng, "ar.chunk_done@" + std::to_string(t.rank));
   lapi::Counter* gate = t.rank == 0 ? &chunk_done : nullptr;

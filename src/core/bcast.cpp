@@ -64,7 +64,7 @@ sim::CoTask Communicator::bcast_small(machine::TaskCtx& t, void* buf,
   // from the root's user buffer removes that staging copy. One window over
   // the whole message — the pipeline-band chunking is a staging-buffer
   // artifact the mapped path doesn't need.
-  bool mapped = single_copy_on(bytes);
+  bool mapped = mapped_on(coll::CollKind::bcast, bytes);
 
   if (t.rank != leader) {
     // Pure consumer: copy each chunk out of the landing buffer (non-root
@@ -184,7 +184,7 @@ sim::CoTask Communicator::bcast_large(machine::TaskCtx& t, void* buf,
   // chunks larger than that are published in sub-chunks. The mapped path
   // exports the whole network chunk as one window instead — no staging
   // buffer, so no sub-chunking and one copy per consumer instead of two.
-  bool mapped = single_copy_on(bytes);
+  bool mapped = mapped_on(coll::CollKind::bcast, bytes);
   auto smp_publish = [this, &t, leader_local, buf, mapped](
                          std::size_t off, std::size_t len,
                          bool is_leader) -> sim::CoTask {

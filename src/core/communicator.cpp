@@ -1,13 +1,97 @@
 #include "core/communicator.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/align.hpp"
 
 namespace srm {
 
+namespace {
+
+/// Rebuild @p op's rows over the union of the existing row boundaries and
+/// @p extra, recomputing each boundary's inherited decision with
+/// @p f(min_bytes, decision&). Boundaries are only added, never removed, so
+/// writing the recomputed set back through set() replaces every old row.
+template <class F>
+void rewrite_rows(coll::DecisionTable& tb, coll::CollKind op,
+                  std::initializer_list<std::size_t> extra, F&& f) {
+  std::vector<std::size_t> bs{0};
+  for (const auto& r : tb.rows(op)) bs.push_back(r.min_bytes);
+  bs.insert(bs.end(), extra);
+  std::sort(bs.begin(), bs.end());
+  bs.erase(std::unique(bs.begin(), bs.end()), bs.end());
+  std::vector<coll::DecisionTable::Row> rows;
+  rows.reserve(bs.size());
+  for (std::size_t b : bs) {
+    coll::DecisionTable::Row r{b, tb.decide(op, b)};
+    f(b, r.d);
+    rows.push_back(r);
+  }
+  for (const auto& r : rows) tb.set(op, r.min_bytes, r.d);
+}
+
+constexpr std::array<coll::CollKind, 8> kAllOps = {
+    coll::CollKind::bcast,     coll::CollKind::reduce,
+    coll::CollKind::allreduce, coll::CollKind::barrier,
+    coll::CollKind::scatter,   coll::CollKind::gather,
+    coll::CollKind::allgather, coll::CollKind::reduce_scatter,
+};
+
+/// The table-source precedence of config.hpp: an explicit config table is
+/// used verbatim; an SRM_DECISIONS artifact is used verbatim; otherwise the
+/// builtin profile table (ibm_sp for unknown profiles) with any legacy
+/// crossover knobs that deviate from their defaults re-imposed on top, so
+/// code written against the old scattered fields keeps its exact semantics.
+coll::DecisionTable resolve_table(const SrmConfig& cfg,
+                                  const machine::MachineParams& params) {
+  if (!cfg.decisions.empty()) return cfg.decisions;
+  if (const char* env = std::getenv("SRM_DECISIONS");
+      env != nullptr && env[0] != '\0') {
+    return coll::DecisionTable::load(env);
+  }
+  const coll::DecisionTable* bt = coll::DecisionTable::builtin(params.profile);
+  coll::DecisionTable tb = bt != nullptr ? *bt : coll::DecisionTable::ibm_sp();
+  const SrmConfig def{};
+  if (cfg.internode_tree != def.internode_tree) {
+    for (coll::CollKind op : kAllOps) {
+      rewrite_rows(tb, op, {}, [&cfg](std::size_t, coll::Decision& d) {
+        d.internode = cfg.internode_tree;
+      });
+    }
+  }
+  if (cfg.bcast_small_max != def.bcast_small_max) {
+    rewrite_rows(tb, coll::CollKind::bcast, {cfg.bcast_small_max + 1},
+                 [&cfg](std::size_t b, coll::Decision& d) {
+                   d.algo = b <= cfg.bcast_small_max ? coll::Algo::staged
+                                                     : coll::Algo::direct;
+                 });
+  }
+  if (cfg.allreduce_rd_max != def.allreduce_rd_max) {
+    rewrite_rows(tb, coll::CollKind::allreduce, {cfg.allreduce_rd_max + 1},
+                 [&cfg](std::size_t b, coll::Decision& d) {
+                   d.algo = b <= cfg.allreduce_rd_max ? coll::Algo::rd
+                                                      : coll::Algo::pipeline;
+                 });
+  }
+  if (cfg.single_copy_min != def.single_copy_min) {
+    for (coll::CollKind op : kAllOps) {
+      rewrite_rows(tb, op, {cfg.single_copy_min},
+                   [&cfg](std::size_t b, coll::Decision& d) {
+                     d.mapped = b >= cfg.single_copy_min;
+                   });
+    }
+  }
+  return tb;
+}
+
+}  // namespace
+
 Communicator::NodeState::NodeState(sim::Engine& eng,
                                    const machine::MemoryParams& mp,
                                    const machine::Topology& topo,
-                                   const SrmConfig& cfg, shm::Segment& seg,
+                                   const SrmConfig& cfg, bool zoo,
+                                   shm::Segment& seg,
                                    const std::string& prefix)
     : nlocal(topo.tasks_per_node()), nnodes(topo.nodes()) {
   auto counter = [&eng, &prefix](const std::string& label) {
@@ -145,6 +229,36 @@ Communicator::NodeState::NodeState(sim::Engine& eng,
         counter("ga_done" + std::to_string(p));
   }
 
+  // --- algorithm-zoo network state (per peer node) ---
+  //
+  // Only built when the communicator's decision table can actually dispatch
+  // a zoo algorithm: the block is another O(nodes) counters plus two
+  // reduce_chunk landing slots per peer on every node, and the paper-table
+  // profiles (ibm_sp) never route to it.
+  if (zoo) {
+    zoo_addr.assign(static_cast<std::size_t>(nnodes), nullptr);
+    zoo_addr_arr.resize(static_cast<std::size_t>(nnodes));
+    zoo_got.resize(static_cast<std::size_t>(nnodes));
+    zoo_land.resize(static_cast<std::size_t>(nnodes));
+    zoo_arr.resize(static_cast<std::size_t>(nnodes));
+    zoo_free.resize(static_cast<std::size_t>(nnodes));
+    for (int p = 0; p < nnodes; ++p) {
+      auto pi = static_cast<std::size_t>(p);
+      zoo_addr_arr[pi] = counter("zoo_addr_arr" + std::to_string(p));
+      zoo_got[pi] = counter("zoo_got" + std::to_string(p));
+      for (int s = 0; s < 2; ++s) {
+        zoo_land[pi][static_cast<std::size_t>(s)] =
+            seg.buffer(prefix + "/zoo_land" + std::to_string(p) + "_" +
+                           std::to_string(s),
+                       cfg.reduce_chunk);
+      }
+      zoo_arr[pi] = counter("zoo_arr" + std::to_string(p));
+      zoo_free[pi] = counter("zoo_free" + std::to_string(p));
+      zoo_free[pi]->set(2);  // both landing slots start free
+    }
+    zoo_org = counter("zoo_org");
+  }
+
   // --- single-copy cross-mapping windows + mapped-reduce accumulators ---
   map = &seg.object<shm::Mapping>(prefix + "/map", eng, mp, nlocal,
                                   prefix + "/map");
@@ -168,6 +282,7 @@ Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
     : cluster_(&cluster),
       fabric_(&fabric),
       cfg_(cfg),
+      table_(resolve_table(cfg, cluster.params())),
       name_(std::move(name)),
       sym_(cluster, coll::sym::Profile{cluster.params().net.o_send,
                                        cfg.bcast_net_chunk,
@@ -183,13 +298,23 @@ Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
 void Communicator::ensure_real_state() {
   if (real_ready_) return;
   real_ready_ = true;
+  // The zoo block of NodeState is only worth its O(nodes) counters and
+  // landing slots if some table row can actually route to a zoo algorithm.
+  bool zoo = false;
+  for (coll::CollKind op : kAllOps) {
+    for (const auto& row : table_.rows(op)) {
+      zoo = zoo || row.d.algo == coll::Algo::ring ||
+            row.d.algo == coll::Algo::rhalving ||
+            row.d.algo == coll::Algo::scatter_ag;
+    }
+  }
   const auto& topo = cluster_->topology();
   nodes_.reserve(static_cast<std::size_t>(topo.nodes()));
   for (int n = 0; n < topo.nodes(); ++n) {
     auto& node = cluster_->node(n);
     nodes_.push_back(&node.seg.object<NodeState>(
         "srm/" + name_, cluster_->engine(), cluster_->params().mem, topo,
-        cfg_, node.seg, "srm/" + name_));
+        cfg_, zoo, node.seg, "srm/" + name_));
   }
   for (auto& r : ranks_) {
     r.red_sent.assign(static_cast<std::size_t>(topo.nodes()), 0);
@@ -199,7 +324,72 @@ void Communicator::ensure_real_state() {
     r.smp_red_base.assign(static_cast<std::size_t>(topo.tasks_per_node()), 0);
     r.map_gen.assign(static_cast<std::size_t>(topo.tasks_per_node()), 0);
     r.sc_base.assign(static_cast<std::size_t>(topo.tasks_per_node()), 0);
+    r.zoo_sent.assign(static_cast<std::size_t>(topo.nodes()), 0);
+    r.zoo_recvd.assign(static_cast<std::size_t>(topo.nodes()), 0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Decision lookup
+// ---------------------------------------------------------------------------
+
+coll::Decision Communicator::decide(coll::CollKind op,
+                                    std::size_t op_bytes) const {
+  coll::Decision d = table_.decide(op, op_bytes);
+  switch (op) {
+    case coll::CollKind::bcast:
+      // The staged path cannot move more than one Fig. 3 buffer per step
+      // without the large protocol's pipelining, and the zoo allreduce
+      // algorithms do not broadcast.
+      if (d.algo == coll::Algo::staged && op_bytes > cfg_.smp_buf_bytes) {
+        d.algo = coll::Algo::direct;
+      }
+      if (d.algo != coll::Algo::staged && d.algo != coll::Algo::direct &&
+          d.algo != coll::Algo::scatter_ag) {
+        d.algo = coll::Algo::direct;
+      }
+      break;
+    case coll::CollKind::allreduce:
+      // Recursive doubling exchanges whole vectors through slots sized
+      // allreduce_rd_max and combines them one reduce chunk at a time.
+      if (d.algo == coll::Algo::rd &&
+          op_bytes > std::min(cfg_.allreduce_rd_max, cfg_.reduce_chunk)) {
+        d.algo = coll::Algo::pipeline;
+      }
+      if (d.algo == coll::Algo::staged || d.algo == coll::Algo::direct ||
+          d.algo == coll::Algo::scatter_ag) {
+        d.algo = coll::Algo::pipeline;
+      }
+      break;
+    default:
+      // Every other operation has one implementation; the row's mapped and
+      // internode columns still apply.
+      d.algo = coll::Algo::staged;
+      break;
+  }
+  return d;
+}
+
+std::string Communicator::v_algo(const machine::TaskCtx& t,
+                                 const coll::CallSig& sig) const {
+  std::size_t bytes = sig.count * coll::dtype_size(sig.dtype);
+  // scatter/gather key their mapped switch on the node block they stage.
+  std::size_t key = bytes;
+  if (sig.op == coll::CollKind::scatter || sig.op == coll::CollKind::gather) {
+    key = bytes * static_cast<std::size_t>(t.nlocal());
+  }
+  coll::Decision d = decide(sig.op, key);
+  std::string algo = coll::algo_name(d.algo);
+  // The "+sc" suffix marks calls whose intra-node phases run the mapped
+  // single-copy variants; composite ops (allreduce/allgather/...) consult
+  // their sub-operations' rows instead, so only the direct consumers of the
+  // mapped column report it.
+  bool consults_mapped = sig.op == coll::CollKind::bcast ||
+                         sig.op == coll::CollKind::reduce ||
+                         sig.op == coll::CollKind::scatter ||
+                         sig.op == coll::CollKind::gather;
+  if (consults_mapped && cfg_.single_copy && d.mapped) algo += "+sc";
+  return algo;
 }
 
 // ---------------------------------------------------------------------------
@@ -213,7 +403,8 @@ sim::CoTask Communicator::v_bcast(machine::TaskCtx& t, coll::Buf buf,
     chk::StageScope stage(t.chk, "srm.bcast");
     rank_state(t).op_seq++;
     sym_used_ = true;
-    co_await sym_.bcast(t, buf, root);
+    co_await sym_.bcast(t, buf, root,
+                        decide(coll::CollKind::bcast, buf.count * buf.esize()));
   } else {
     if (buf.count != 0) ensure_real_state();
     co_await real_bcast(t, buf.data, buf.count * buf.esize(), root);
@@ -227,7 +418,9 @@ sim::CoTask Communicator::v_reduce(machine::TaskCtx& t, coll::Buf send,
     chk::StageScope stage(t.chk, "srm.reduce");
     rank_state(t).op_seq++;
     sym_used_ = true;
-    co_await sym_.reduce(t, send, recv, op, root);
+    co_await sym_.reduce(
+        t, send, recv, op, root,
+        decide(coll::CollKind::reduce, send.count * send.esize()));
   } else {
     if (send.count != 0) ensure_real_state();
     co_await real_reduce(t, send.data, recv.data, send.count, send.dtype, op,
@@ -242,7 +435,9 @@ sim::CoTask Communicator::v_allreduce(machine::TaskCtx& t, coll::Buf send,
     chk::StageScope stage(t.chk, "srm.allreduce");
     rank_state(t).op_seq++;
     sym_used_ = true;
-    co_await sym_.allreduce(t, send, recv, op);
+    co_await sym_.allreduce(
+        t, send, recv, op,
+        decide(coll::CollKind::allreduce, send.count * send.esize()));
   } else {
     if (send.count != 0) ensure_real_state();
     co_await real_allreduce(t, send.data, recv.data, send.count, send.dtype,
@@ -333,16 +528,23 @@ sim::CoTask Communicator::real_bcast(machine::TaskCtx& t, void* buf,
   chk::StageScope stage(t.chk, "srm.bcast");
   rank_state(t).op_seq++;
   if (bytes == 0) co_return;
+  coll::Decision dec = decide(coll::CollKind::bcast, bytes);
   coll::Embedding emb =
-      coll::embed(*t.topo, root, cfg_.internode_tree, cfg_.intranode_tree);
-  bool small = bytes <= cfg_.bcast_small_max;
+      coll::embed(*t.topo, root, dec.internode, cfg_.intranode_tree);
+  bool small = dec.algo == coll::Algo::staged;
   bool leader = emb.leader[static_cast<std::size_t>(t.node())] == t.rank;
   bool manage = cfg_.manage_interrupts && small && leader && t.nnodes() > 1;
   if (manage) ep(t.rank).set_interrupts(false);
-  if (small) {
-    co_await bcast_small(t, buf, bytes, emb);
-  } else {
-    co_await bcast_large(t, buf, bytes, emb, cfg_.bcast_net_chunk, nullptr);
+  switch (dec.algo) {
+    case coll::Algo::staged:
+      co_await bcast_small(t, buf, bytes, emb);
+      break;
+    case coll::Algo::scatter_ag:
+      co_await bcast_scatter_ag(t, buf, bytes, emb);
+      break;
+    default:
+      co_await bcast_large(t, buf, bytes, emb, cfg_.bcast_net_chunk, nullptr);
+      break;
   }
   if (manage) ep(t.rank).set_interrupts(true);
 }
@@ -378,14 +580,25 @@ sim::CoTask Communicator::real_allreduce(machine::TaskCtx& t,
   rank_state(t).op_seq++;
   if (count == 0) co_return;
   std::size_t bytes = count * coll::dtype_size(d);
-  if (bytes <= cfg_.allreduce_rd_max) {
-    bool leader = t.is_master();
-    bool manage = cfg_.manage_interrupts && leader && t.nnodes() > 1;
-    if (manage) ep(t.rank).set_interrupts(false);
-    co_await allreduce_rd(t, send, recv, count, d, op);
-    if (manage) ep(t.rank).set_interrupts(true);
-  } else {
-    co_await allreduce_pipelined(t, send, recv, count, d, op);
+  coll::Decision dec = decide(coll::CollKind::allreduce, bytes);
+  switch (dec.algo) {
+    case coll::Algo::rd: {
+      bool leader = t.is_master();
+      bool manage = cfg_.manage_interrupts && leader && t.nnodes() > 1;
+      if (manage) ep(t.rank).set_interrupts(false);
+      co_await allreduce_rd(t, send, recv, count, d, op);
+      if (manage) ep(t.rank).set_interrupts(true);
+      break;
+    }
+    case coll::Algo::ring:
+      co_await ring_allreduce(t, send, recv, count, d, op);
+      break;
+    case coll::Algo::rhalving:
+      co_await rhalving_allreduce(t, send, recv, count, d, op);
+      break;
+    default:
+      co_await allreduce_pipelined(t, send, recv, count, d, op);
+      break;
   }
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "coll/buf.hpp"
+#include "coll/decision.hpp"
 #include "coll/iface.hpp"
 #include "coll/ops.hpp"
 #include "coll/symbolic.hpp"
@@ -65,6 +66,19 @@ class Communicator final : public coll::Collectives {
   const SrmConfig& config() const noexcept { return cfg_; }
   const std::string& name() const noexcept { return name_; }
 
+  /// The algorithm-selection table this communicator resolved at
+  /// construction (explicit config table > SRM_DECISIONS env artifact >
+  /// builtin profile table + legacy crossover-knob overrides).
+  const coll::DecisionTable& decisions() const noexcept { return table_; }
+
+  /// Resolved decision for (@p op, @p op_bytes) with the per-op sanitize
+  /// rules applied: a staged bcast that cannot fit the staging buffers
+  /// falls to direct; a recursive-doubling allreduce that cannot fit the
+  /// exchange slots falls to pipeline; algorithms that do not implement an
+  /// op fall to that op's paper path. Deterministic in operation-level
+  /// arguments, so every rank takes the same branch.
+  coll::Decision decide(coll::CollKind op, std::size_t op_bytes) const;
+
  protected:
   // coll::Collectives hooks: descriptors are already validated; these only
   // pick the plane. Real descriptors run the paper protocols (real_*);
@@ -87,6 +101,11 @@ class Communicator final : public coll::Collectives {
                           coll::Buf recv) override;
   sim::CoTask v_reduce_scatter(machine::TaskCtx& t, coll::Buf send,
                                coll::Buf recv, coll::RedOp op) override;
+
+  /// Decision-table lookup for the obs span args: the sanitized algorithm
+  /// name, with "+sc" appended when the mapped single-copy variant runs.
+  std::string v_algo(const machine::TaskCtx& t,
+                     const coll::CallSig& sig) const override;
 
  private:
   // ---- real plane (the paper's protocols, raw memory) ----
@@ -134,8 +153,10 @@ class Communicator final : public coll::Collectives {
   void ensure_real_state();
   // ---- per-node shared state (lives in the node's shm segment) ----
   struct NodeState {
+    /// @p zoo: build the algorithm-zoo network state (skipped when the
+    /// decision table can never dispatch a zoo algorithm).
     NodeState(sim::Engine& eng, const machine::MemoryParams& mp,
-              const machine::Topology& topo, const SrmConfig& cfg,
+              const machine::Topology& topo, const SrmConfig& cfg, bool zoo,
               shm::Segment& seg, const std::string& prefix);
 
     int nlocal;
@@ -217,6 +238,24 @@ class Communicator final : public coll::Collectives {
     std::vector<std::unique_ptr<lapi::Counter>> ga_addr_arr;
     std::vector<std::unique_ptr<lapi::Counter>> ga_done;  // per sender node
 
+    // ---- algorithm-zoo network state (core/zoo.cpp) ----
+    //
+    // Ring, recursive-halving, and scatter+allgather paths. Per peer node:
+    // an announced user-buffer address cell (direct puts land straight in
+    // user memory, so receivers advertise where), a direct-put arrival
+    // counter, and two reduce_chunk-sized landing slots with arrival +
+    // credit counters for streamed combine traffic.
+    std::vector<void*> zoo_addr;  // peer -> announced user buffer
+    std::vector<std::unique_ptr<lapi::Counter>> zoo_addr_arr;
+    std::vector<std::unique_ptr<lapi::Counter>> zoo_got;
+    std::vector<std::array<std::span<std::byte>, 2>> zoo_land;  // [peer][slot]
+    std::vector<std::unique_ptr<lapi::Counter>> zoo_arr;
+    std::vector<std::unique_ptr<lapi::Counter>> zoo_free;  // start at 2
+    // Origin counter for every zoo put this node's leader issues. Ops are
+    // globally serialized and each drains it to zero before finishing, so
+    // leader changes across operations cannot alias in-flight counts.
+    std::unique_ptr<lapi::Counter> zoo_org;
+
     // ---- single-copy cross-mapping state (core/single_copy.cpp) ----
     //
     // One window slot per local task: the mapped protocols export user
@@ -262,6 +301,11 @@ class Communicator final : public coll::Collectives {
     // sc_acc slots (parity + published/consumed baselines, the mapped twin
     // of smp_red_base).
     std::vector<std::uint64_t> sc_base;
+    // Cumulative streamed zoo chunks my node sent to / received from each
+    // peer node (zoo_land slot parity). Advanced identically on every rank
+    // of the node — leadership can change between operations.
+    std::vector<std::uint64_t> zoo_sent;
+    std::vector<std::uint64_t> zoo_recvd;
   };
 
   NodeState& node_state(const machine::TaskCtx& t) {
@@ -331,11 +375,11 @@ class Communicator final : public coll::Collectives {
   // ---- single-copy cross-mapped SMP primitives (core/single_copy.cpp) ----
 
   /// Uniform per-operation protocol switch: the mapped single-copy path runs
-  /// when enabled and the operation moves at least the crossover. Every rank
-  /// computes this from operation-level arguments, so all ranks of a node
-  /// take the same branch.
-  bool single_copy_on(std::size_t op_bytes) const noexcept {
-    return cfg_.single_copy && op_bytes >= cfg_.single_copy_min;
+  /// when the master enable is set and the decision table's mapped column
+  /// says so for this op and size. Every rank computes this from
+  /// operation-level arguments, so all ranks of a node take the same branch.
+  bool mapped_on(coll::CollKind op, std::size_t op_bytes) const {
+    return cfg_.single_copy && decide(op, op_bytes).mapped;
   }
 
   /// Mapped SMP broadcast: the leader exports [src, src+len) and the
@@ -411,9 +455,64 @@ class Communicator final : public coll::Collectives {
                                   coll::Dtype d, coll::RedOp op);
   sim::CoTask internode_barrier(machine::TaskCtx& t);
 
+  // ---- algorithm zoo (core/zoo.cpp) ----
+  //
+  // Large-message algorithms from the tuning literature, selected by the
+  // decision table: all of them reduce intra-node with the staged Fig. 2
+  // pipeline into the node master's buffer, run their inter-node exchange
+  // between masters over the zoo_* state, and publish the result through
+  // the staged Fig. 3 buffers (the mapped column is ignored here).
+
+  /// Ring allreduce: reduce-scatter around the node ring (streamed through
+  /// the landing slots, combining on arrival), then allgather by direct
+  /// puts into announced user buffers.
+  sim::CoTask ring_allreduce(machine::TaskCtx& t, const void* send,
+                             void* recv, std::size_t count, coll::Dtype d,
+                             coll::RedOp op);
+  /// Recursive-halving reduce-scatter + recursive-doubling allgather
+  /// (Rabenseifner), with the classic fold to the nearest power of two.
+  sim::CoTask rhalving_allreduce(machine::TaskCtx& t, const void* send,
+                                 void* recv, std::size_t count, coll::Dtype d,
+                                 coll::RedOp op);
+  /// Scatter + ring-allgather broadcast: the root leader scatters one block
+  /// per node, then the node ring circulates blocks with each node
+  /// publishing arrivals locally as they land.
+  sim::CoTask bcast_scatter_ag(machine::TaskCtx& t, void* buf,
+                               std::size_t bytes, const coll::Embedding& emb);
+
+  /// Staged SMP reduce of the whole vector into the leader's @p recv
+  /// (leader runs the per-chunk leader combine, everyone else the
+  /// participant pipeline), including the smp_red_base bookkeeping.
+  sim::CoTask zoo_node_reduce(machine::TaskCtx& t, const coll::Tree& tree,
+                              const void* send, void* recv, std::size_t count,
+                              coll::Dtype d, coll::RedOp op);
+  /// Publish @p bytes of the leader's @p src to every local task's @p dst
+  /// through the staged Fig. 3 buffers, chunked to fit them.
+  sim::CoTask zoo_publish(machine::TaskCtx& t, int leader_local,
+                          const void* src, void* dst, std::size_t bytes);
+  /// Stream [@p src, @p src+bytes) into @p dst_node's landing slots
+  /// (reduce_chunk pieces, credit-gated), where the receiving leader is
+  /// expected to combine each piece on arrival and return the credit.
+  /// @p seq is the cumulative chunk sequence on the me->dst_node link
+  /// (landing-slot parity), advanced per chunk; @p org_inflight counts the
+  /// zoo_org bumps the caller must drain.
+  sim::CoTask zoo_stream_to(machine::TaskCtx& t, const coll::Embedding& emb,
+                            int dst_node, const std::byte* src,
+                            std::size_t bytes, std::uint64_t& seq,
+                            std::uint64_t& org_inflight);
+  /// Receive @p bytes streamed by @p src_node's zoo_stream_to, combining
+  /// each landed chunk into @p dst with @p op and returning the slot credit.
+  /// @p seq is the cumulative chunk sequence on the src_node->me link.
+  sim::CoTask zoo_recv_combine(machine::TaskCtx& t,
+                               const coll::Embedding& emb, int src_node,
+                               std::byte* dst, std::size_t bytes,
+                               coll::Dtype d, coll::RedOp op,
+                               std::uint64_t& seq);
+
   machine::Cluster* cluster_;
   lapi::Fabric* fabric_;
   SrmConfig cfg_;
+  coll::DecisionTable table_;  // resolved at construction (decide())
   std::string name_;
   coll::sym::Transport sym_;       // symbolic plane (SRM cost profile)
   bool real_ready_ = false;        // per-node shared state materialized?

@@ -3,17 +3,29 @@
 
 #include <cstddef>
 
+#include "coll/decision.hpp"
 #include "coll/tree.hpp"
 
 namespace srm {
 
 struct SrmConfig {
+  /// Algorithm-selection table. Empty (the default) means the Communicator
+  /// resolves one at construction: the SRM_DECISIONS env var if set (a tuner
+  /// JSON artifact), else the builtin table for the machine profile, with any
+  /// legacy crossover knobs below that deviate from their defaults re-imposed
+  /// as overrides — so code that still sets `bcast_small_max` or
+  /// `allreduce_rd_max` or `single_copy_min` keeps its exact old semantics.
+  /// A non-empty table here wins over everything (tests / the tuner forcing
+  /// one candidate path).
+  coll::DecisionTable decisions;
   /// Size of each of the two shared-memory broadcast buffers A/B (Fig. 3).
   /// Must hold the largest single-shot small-protocol message.
   std::size_t smp_buf_bytes = 64 * 1024;
 
   /// Broadcast protocol switch (§2.4): messages up to this size flow through
   /// the shared buffers; larger ones use the zero-intermediate-copy protocol.
+  /// Deprecated in favor of `decisions` — a non-default value is honored as
+  /// an override of the resolved table's bcast rows.
   std::size_t bcast_small_max = 64 * 1024;
 
   /// Within the small protocol, messages in (pipe_min, pipe_max] are split
@@ -31,10 +43,15 @@ struct SrmConfig {
   std::size_t reduce_chunk = 16 * 1024;
 
   /// Allreduce: recursive doubling between node leaders up to this size;
-  /// pipelined reduce+broadcast beyond it (§2.4, Fig. 5).
+  /// pipelined reduce+broadcast beyond it (§2.4, Fig. 5). Deprecated in
+  /// favor of `decisions` — a non-default value overrides the allreduce
+  /// rows (it also still sizes the ar_buf exchange slots and the small-op
+  /// interrupt-management band).
   std::size_t allreduce_rd_max = 16 * 1024;
 
-  /// Inter-node tree (paper: binomial performed best on the SP).
+  /// Inter-node tree (paper: binomial performed best on the SP). Deprecated
+  /// in favor of `decisions` — a non-default value overrides every row's
+  /// internode column.
   coll::TreeKind internode_tree = coll::TreeKind::binomial;
   /// Intra-node reduce tree.
   coll::TreeKind intranode_tree = coll::TreeKind::binomial;
@@ -46,6 +63,10 @@ struct SrmConfig {
   /// the crossover the staged path still wins (publish/attach costs dominate
   /// tiny messages), so both switches matter. Off by default: the
   /// paper-faithful 2-copy path is the baseline and stays ablatable.
+  /// `single_copy` is the master enable: the mapped column of the decision
+  /// table only takes effect when it is set. `single_copy_min` is deprecated
+  /// in favor of `decisions` — a non-default value overrides every row's
+  /// mapped column with (bytes >= single_copy_min).
   bool single_copy = false;
   std::size_t single_copy_min = 16 * 1024;
 

@@ -21,17 +21,18 @@ sim::CoTask Communicator::reduce_impl(machine::TaskCtx& t, const void* send,
                                       lapi::Counter* chunk_done) {
   obs::Span span(*t.obs, t.rank, "reduce.pipeline");
   chk::StageScope stage(t.chk, "reduce.pipeline");
+  std::size_t esize = coll::dtype_size(d);
+  coll::Decision dec = decide(coll::CollKind::reduce, count * esize);
   coll::Embedding emb =
-      coll::embed(*t.topo, root, cfg_.internode_tree, cfg_.intranode_tree);
+      coll::embed(*t.topo, root, dec.internode, cfg_.intranode_tree);
   NodeState& ns = node_state(t);
   RankState& rs = rank_state(t);
   int my_node = t.node();
   int leader = emb.leader[static_cast<std::size_t>(my_node)];
-  std::size_t esize = coll::dtype_size(d);
   // Single-copy path: leaves of the topology tree export their send buffers
   // as windows and the interior combines straight out of them — no staging
   // copies at all, and every cache-domain boundary crossed exactly once.
-  bool mapped = single_copy_on(count * esize);
+  bool mapped = mapped_on(coll::CollKind::reduce, count * esize);
   coll::Tree itree =
       mapped ? coll::topo_tree(t.P->topo, t.nlocal(), t.topo->local_of(leader),
                                /*binomial=*/true)

@@ -7,6 +7,7 @@ namespace srm::machine {
 
 MachineParams MachineParams::ibm_sp() {
   MachineParams p;
+  p.profile = "ibm_sp";
   // IBM MPI: tuned vendor library — lower software overheads, adaptive
   // eager limit. MPICH (over MPL over MPCI): one more software layer —
   // higher per-call and per-match costs, fixed eager limit.
@@ -30,6 +31,7 @@ MachineParams MachineParams::ibm_sp() {
 
 MachineParams MachineParams::modern_smp() {
   MachineParams p = ibm_sp();
+  p.profile = "modern_smp";
   // Node: 2 sockets x 2 L3 slices x 4 cores = 16-way, DDR4-class memory.
   p.topo.cores_per_l3 = 4;
   p.topo.l3_per_socket = 2;

@@ -141,6 +141,11 @@ struct MachineParams {
   MpiParams mpi_ibm;
   MpiParams mpi_mpich;
 
+  /// Profile tag set by the factories ("ibm_sp", "modern_smp"); consumers
+  /// (the SRM decision-table lookup, the tuner) key builtin artifacts on it.
+  /// Hand-built or mutated parameter sets should clear or rename it.
+  const char* profile = "custom";
+
   /// Eager limit for a given profile and task count.
   static std::size_t eager_limit(const MpiParams& p, int ntasks) {
     if (!p.eager_scales_with_tasks) return p.eager_limit_base;

@@ -253,31 +253,35 @@ struct Builder {
     return res;
   }
 
+  /// Fig. 2 with one chunk: every local contribution combined into res<n>.
+  /// Shared by allreduce and the zoo allreduces (their network phases run
+  /// leader-only over the node results).
+  void local_combine(int n) {
+    int ld = rk(n, 0);
+    for (int l = 1; l < T(); ++l) {
+      int t = rk(n, l);
+      p.write(t, p.buf(id("slot" + num(n) + "[" + num(l) + "]")), 0, W());
+      p.add(t, p.var(id("pub" + num(n) + "[" + num(l) + "]")), 1);
+    }
+    if (T() == 1) {
+      p.write(ld, p.buf(id("res" + num(n))), 0, W());
+    } else {
+      for (int l = 1; l < T(); ++l) {
+        p.await_ge(ld, p.var(id("pub" + num(n) + "[" + num(l) + "]")), 1);
+        p.read(ld, p.buf(id("slot" + num(n) + "[" + num(l) + "]")), 0, W());
+        p.write(ld, p.buf(id("res" + num(n))), 0, W());
+        p.add(ld, p.var(id("cons" + num(n) + "[" + num(l) + "]")), 1);
+      }
+    }
+  }
+
   // --- allreduce: SMP reduce + pairwise exchange + SMP broadcast ----------
   /// Single-chunk by construction (the recursive-doubling variant requires
   /// the payload to fit one reduce chunk).
   void allreduce() {
     auto resbuf = [&](int n) { return p.buf(id("res" + num(n))); };
     // Local combine on every node, Fig. 2 with one chunk.
-    for (int n = 0; n < sh.nodes; ++n) {
-      int ld = rk(n, 0);
-      for (int l = 1; l < T(); ++l) {
-        int t = rk(n, l);
-        p.write(t, p.buf(id("slot" + num(n) + "[" + num(l) + "]")), 0, W());
-        p.add(t, p.var(id("pub" + num(n) + "[" + num(l) + "]")), 1);
-      }
-      if (T() == 1) {
-        p.write(ld, resbuf(n), 0, W());
-      } else {
-        for (int l = 1; l < T(); ++l) {
-          p.await_ge(ld, p.var(id("pub" + num(n) + "[" + num(l) + "]")), 1);
-          p.read(ld, p.buf(id("slot" + num(n) + "[" + num(l) + "]")), 0,
-                 W());
-          p.write(ld, resbuf(n), 0, W());
-          p.add(ld, p.var(id("cons" + num(n) + "[" + num(l) + "]")), 1);
-        }
-      }
-    }
+    for (int n = 0; n < sh.nodes; ++n) local_combine(n);
     if (sh.nodes == 2) {
       // One recursive-doubling round: both puts overlap on the wire; each
       // master may only overwrite its result buffer (the put source!) after
@@ -305,6 +309,142 @@ struct Builder {
     }
     // SMP broadcast of the global result out of the masters' buffers.
     for (int n = 0; n < sh.nodes; ++n) smp_fill_chunk(n, 0, resbuf(n));
+  }
+
+  /// One origin-guarded leader put for the zoo exchanges: the master of
+  /// node @p n ships @p srcbuf to the peer. The adapter re-reads the source
+  /// (the reuse hazard) and bumps <tag>org<n>; the peer's NIC deposits into
+  /// <tag>land<peer> and bumps <tag>arr<peer>.
+  void zoo_put(const std::string& tag, int n, int srcbuf) {
+    int m = rk(n, 0);
+    int a = adp(n);
+    p.send(m, p.chan(id(tag + "put" + num(n))));
+    p.recv(a, p.chan(id(tag + "put" + num(n))));
+    p.read(a, srcbuf, 0, W());
+    p.add(a, p.var(id(tag + "org" + num(n))), 1);
+    p.send(a, p.chan(id(tag + "data" + num(n))));
+    int peer = nic(1 - n);
+    p.recv(peer, p.chan(id(tag + "data" + num(n))));
+    p.write(peer, p.buf(id(tag + "land" + num(1 - n))), 0, W());
+    p.add(peer, p.var(id(tag + "arr" + num(1 - n))), 1);
+  }
+
+  // --- ring allreduce (zoo): guarded block exchange around the ring -------
+  /// Leader-only network phase over the node results, single chunk per
+  /// block (core/zoo.cpp runs the exchange in polled mode so per-peer
+  /// arrival order attributes blocks; the FIFO channels model exactly that
+  /// ordering). Two nodes: one reduce-scatter hop combines the peer's
+  /// contribution into the owned block, one allgather hop replaces the
+  /// other block with the peer's finalized copy.
+  void ring_allreduce() {
+    auto resbuf = [&](int n) { return p.buf(id("res" + num(n))); };
+    for (int n = 0; n < sh.nodes; ++n) local_combine(n);
+    if (sh.nodes == 2) {
+      // Reduce-scatter hop: both masters ship their contribution for the
+      // peer-owned block. The put sources the node result, so the combine
+      // below may only overwrite it once the origin counter fires.
+      for (int n = 0; n < 2; ++n) zoo_put("rs", n, resbuf(n));
+      for (int n = 0; n < 2; ++n) {
+        int m = rk(n, 0);
+        p.wait_dec(m, p.var(id("rsarr" + num(n))), 1);
+        p.wait_dec(m, p.var(id("rsorg" + num(n))), 1);
+        p.read(m, p.buf(id("rsland" + num(n))), 0, W());
+        p.write(m, resbuf(n), 0, W());  // the owned block is now global
+      }
+      // Allgather hop: ship the finalized block; the peer replaces its
+      // copy (a plain write, no combine). The node result is the put
+      // source again, so the same origin guard protects the final write.
+      for (int n = 0; n < 2; ++n) zoo_put("ag", n, resbuf(n));
+      for (int n = 0; n < 2; ++n) {
+        int m = rk(n, 0);
+        p.wait_dec(m, p.var(id("agarr" + num(n))), 1);
+        p.wait_dec(m, p.var(id("agorg" + num(n))), 1);
+        p.read(m, p.buf(id("agland" + num(n))), 0, W());
+        p.write(m, resbuf(n), 0, W());
+      }
+    }
+    for (int n = 0; n < sh.nodes; ++n) smp_fill_chunk(n, 0, resbuf(n));
+  }
+
+  // --- recursive-halving allreduce (zoo) ----------------------------------
+  /// At two nodes (pof2 = 2, no remainder fold) this is one
+  /// reduce-scatter round exchanging accumulated halves — the send is the
+  /// pre-round snapshot, so the fold-in waits out the origin counter — and
+  /// one allgather round whose arrival REPLACES the other half
+  /// (core/zoo.cpp's unfold semantics). Structurally the ring's exchange,
+  /// but the gauntlet pins a different guard on it.
+  void rh_allreduce() {
+    auto resbuf = [&](int n) { return p.buf(id("res" + num(n))); };
+    for (int n = 0; n < sh.nodes; ++n) local_combine(n);
+    if (sh.nodes == 2) {
+      // Halving exchange round (reduce-scatter on halves).
+      for (int n = 0; n < 2; ++n) zoo_put("hx", n, resbuf(n));
+      for (int n = 0; n < 2; ++n) {
+        int m = rk(n, 0);
+        p.wait_dec(m, p.var(id("hxarr" + num(n))), 1);
+        p.wait_dec(m, p.var(id("hxorg" + num(n))), 1);
+        p.read(m, p.buf(id("hxland" + num(n))), 0, W());
+        p.write(m, resbuf(n), 0, W());  // fold the peer's half in
+      }
+      // Half broadcast-back round (allgather on halves).
+      for (int n = 0; n < 2; ++n) zoo_put("hb", n, resbuf(n));
+      for (int n = 0; n < 2; ++n) {
+        int m = rk(n, 0);
+        p.wait_dec(m, p.var(id("hbarr" + num(n))), 1);
+        p.wait_dec(m, p.var(id("hborg" + num(n))), 1);
+        p.read(m, p.buf(id("hbland" + num(n))), 0, W());
+        p.write(m, resbuf(n), 0, W());  // replace, not combine
+      }
+    }
+    for (int n = 0; n < sh.nodes; ++n) smp_fill_chunk(n, 0, resbuf(n));
+  }
+
+  // --- scatter+allgather bcast (zoo) --------------------------------------
+  /// Single chunk: the root scatters the child's block, then the one ring
+  /// allgather step runs both ways — the root ships its own block while
+  /// the child forwards the block it just received. The forward reads the
+  /// scatter's landing buffer, so it must wait for the scatter arrival;
+  /// its origin counter retires the landing slot at the end.
+  void sa_bcast() {
+    if (sh.nodes == 1) {
+      smp_fill_chunk(0, 0, -1);
+      return;
+    }
+    int root = rk(0, 0), child = rk(1, 0);
+    // Scatter: the child's block leaves the root's private user buffer.
+    p.send(root, p.chan(id("scput")));
+    p.recv(nic(1), p.chan(id("scput")));
+    p.write(nic(1), p.buf(id("scland")), 0, W());
+    p.add(nic(1), p.var(id("scarr")), 1);
+    // Ring step, root side: its own block, private source again.
+    p.send(root, p.chan(id("agput0")));
+    p.recv(nic(1), p.chan(id("agput0")));
+    p.write(nic(1), p.buf(id("agland1")), 0, W());
+    p.add(nic(1), p.var(id("agarr1")), 1);
+    // Ring step, child side: forward the scattered block straight out of
+    // its landing buffer (a shared source — adapter plus origin counter).
+    p.wait_dec(child, p.var(id("scarr")), 1);
+    p.send(child, p.chan(id("fwput")));
+    int a = adp(1);
+    p.recv(a, p.chan(id("fwput")));
+    p.read(a, p.buf(id("scland")), 0, W());
+    p.add(a, p.var(id("fworg")), 1);
+    p.send(a, p.chan(id("fwdata")));
+    p.recv(nic(0), p.chan(id("fwdata")));
+    p.write(nic(0), p.buf(id("agland0")), 0, W());
+    p.add(nic(0), p.var(id("agarr0")), 1);
+    // Assembly + Fig. 3 fan-out: each leader copies the landed block into
+    // its user image, then runs the SMP chunk from that private image.
+    p.wait_dec(root, p.var(id("agarr0")), 1);
+    p.read(root, p.buf(id("agland0")), 0, W());
+    smp_fill_chunk(0, 0, -1);
+    p.wait_dec(child, p.var(id("agarr1")), 1);
+    p.read(child, p.buf(id("agland1")), 0, W());
+    p.read(child, p.buf(id("scland")), 0, W());
+    smp_fill_chunk(1, 0, -1);
+    // The scatter landing slot is reusable only once the forward has left
+    // the adapter.
+    p.wait_dec(child, p.var(id("fworg")), 1);
   }
 
   // --- scatter: root puts node blocks into landing pairs, slices locally --
@@ -798,6 +938,15 @@ void emit(Program& p, Proto op, const Shape& sh) {
     case Proto::sc_gather:
       Builder{p, sh, ""}.sc_gather();
       break;
+    case Proto::ring_allreduce:
+      Builder{p, sh, ""}.ring_allreduce();
+      break;
+    case Proto::rh_allreduce:
+      Builder{p, sh, ""}.rh_allreduce();
+      break;
+    case Proto::sa_bcast:
+      Builder{p, sh, ""}.sa_bcast();
+      break;
   }
 }
 
@@ -835,16 +984,20 @@ const char* proto_name(Proto p) {
     case Proto::sc_reduce: return "sc_reduce";
     case Proto::sc_scatter: return "sc_scatter";
     case Proto::sc_gather: return "sc_gather";
+    case Proto::ring_allreduce: return "ring_allreduce";
+    case Proto::rh_allreduce: return "rh_allreduce";
+    case Proto::sa_bcast: return "sa_bcast";
   }
   return "?";
 }
 
 const std::vector<Proto>& all_protos() {
   static const std::vector<Proto> kAll = {
-      Proto::barrier,   Proto::bcast,          Proto::reduce,
-      Proto::allreduce, Proto::scatter,        Proto::gather,
-      Proto::allgather, Proto::reduce_scatter, Proto::sc_bcast,
-      Proto::sc_reduce, Proto::sc_scatter,     Proto::sc_gather};
+      Proto::barrier,        Proto::bcast,          Proto::reduce,
+      Proto::allreduce,      Proto::scatter,        Proto::gather,
+      Proto::allgather,      Proto::reduce_scatter, Proto::sc_bcast,
+      Proto::sc_reduce,      Proto::sc_scatter,     Proto::sc_gather,
+      Proto::ring_allreduce, Proto::rh_allreduce,   Proto::sa_bcast};
   return kAll;
 }
 
@@ -1033,6 +1186,38 @@ std::vector<Mutant> mutation_gauntlet() {
     Mutant m = make_mutant("sc_gather.publish_before_write", Proto::sc_gather,
                            Shape{1, 2, 1}, true, false);
     m.program.swap_with_prev("r0.1", "gwpub0[1]:=1");
+    add(std::move(m));
+  }
+  // Ring allreduce: combining into the owned block while it is still the
+  // source of the in-flight reduce-scatter put (skipped origin wait).
+  {
+    Mutant m = make_mutant("ring_allreduce.drop_origin_wait",
+                           Proto::ring_allreduce, Shape{2, 1, 1}, true, false);
+    m.program.drop_op("r0.0", "waitdec rsorg0-1");
+    add(std::move(m));
+  }
+  // Recursive halving: the NIC signalling the half's arrival before the
+  // deposit is complete lets the master fold garbage in.
+  {
+    Mutant m = make_mutant("rh_allreduce.signal_before_deposit",
+                           Proto::rh_allreduce, Shape{2, 1, 1}, true, false);
+    m.program.swap_with_prev("nic1", "hxarr1+=1");
+    add(std::move(m));
+  }
+  // Scatter+allgather bcast: forwarding the scattered block before its
+  // arrival counter fires reads a landing buffer the NIC is still filling.
+  {
+    Mutant m = make_mutant("sa_bcast.forward_before_arrival", Proto::sa_bcast,
+                           Shape{2, 1, 1}, true, false);
+    m.program.drop_op("r1.0", "waitdec scarr-1");
+    add(std::move(m));
+  }
+  // Scatter+allgather bcast: a dropped scatter-arrival signal wedges the
+  // child's forward, and with it the root's assembly.
+  {
+    Mutant m = make_mutant("sa_bcast.drop_scatter_signal", Proto::sa_bcast,
+                           Shape{2, 1, 1}, false, true);
+    m.program.drop_op("nic1", "scarr+=1");
     add(std::move(m));
   }
   return out;

@@ -1,5 +1,6 @@
-// srm::mc — IR models of the SRM collectives (eight staged protocols plus
-// the four single-copy cross-mapped variants).
+// srm::mc — IR models of the SRM collectives (eight staged protocols, the
+// four single-copy cross-mapped variants, and the three algorithm-zoo
+// bandwidth protocols).
 //
 // build() emits the synchronization skeleton that src/core actually executes
 // (smp.cpp / bcast.cpp / reduce.cpp / barrier.cpp / gather_scatter.cpp /
@@ -57,10 +58,17 @@ enum class Proto : std::uint8_t {
   sc_reduce,
   sc_scatter,
   sc_gather,
+  // Algorithm-zoo variants (core/zoo.cpp): bandwidth algorithms the
+  // decision table picks for large payloads. At two nodes the ring and
+  // recursive-halving allreduces coincide structurally (one exchange round
+  // each way), but each pins its own guard set in the gauntlet.
+  ring_allreduce,
+  rh_allreduce,
+  sa_bcast,
 };
-inline constexpr int kProtoCount = 12;
+inline constexpr int kProtoCount = 15;
 const char* proto_name(Proto p);
-/// All twelve, in a stable order.
+/// All fifteen, in a stable order.
 const std::vector<Proto>& all_protos();
 
 /// Build the synchronization skeleton of @p p on @p shape (nodes must be 1

@@ -44,6 +44,10 @@ TEST_P(TreeProps, HeightBounds) {
       // Postal trees are deeper than binomial but still logarithmic-ish.
       EXPECT_LE(h, n == 1 ? 0 : 2 * util::log2_ceil(static_cast<unsigned>(n)) + 2);
       break;
+    case TreeKind::bine:
+      // Bounded dissemination plus the flat straggler tier.
+      EXPECT_LE(h, n == 1 ? 0 : 2 * util::log2_ceil(static_cast<unsigned>(n)) + 4);
+      break;
   }
 }
 
@@ -58,7 +62,7 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, TreeProps,
     ::testing::Combine(
         ::testing::Values(TreeKind::binomial, TreeKind::binary,
-                          TreeKind::fibonacci, TreeKind::flat),
+                          TreeKind::fibonacci, TreeKind::flat, TreeKind::bine),
         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 31, 32, 100, 256),
         ::testing::Values(0, 1, 7, 255)),
     tree_param_name);
@@ -101,6 +105,40 @@ TEST(FibonacciTree, InformedCountsFollowFibonacci) {
   EXPECT_GE(t.height(), util::log2_floor(13u));
   // The root keeps sending every step; with 5 steps it has 5 children.
   EXPECT_EQ(t.children[0].size(), 5u);
+}
+
+TEST(BineTree, PowerOfTwoInformsInLogSteps) {
+  // On a power of two the negabinary distance walk never collides: the
+  // informed count doubles every step, so the height matches binomial.
+  for (int n : {2, 4, 8, 16, 32}) {
+    Tree t = bine_tree(n, 0);
+    t.validate();
+    EXPECT_EQ(t.height(), util::log2_floor(static_cast<unsigned>(n)))
+        << "n=" << n;
+    EXPECT_EQ(t.subtree_size(0), n);
+  }
+}
+
+TEST(BineTree, SpansEveryCountAndRoot) {
+  for (int n = 1; n <= 33; ++n) {
+    for (int root : {0, n - 1, n / 2}) {
+      Tree t = bine_tree(n, root);
+      t.validate();
+      EXPECT_EQ(t.root, root);
+      EXPECT_EQ(t.subtree_size(root), n);
+    }
+  }
+}
+
+TEST(TreeKindNames, RoundTrip) {
+  for (TreeKind k : {TreeKind::binomial, TreeKind::binary, TreeKind::fibonacci,
+                     TreeKind::flat, TreeKind::bine}) {
+    TreeKind out;
+    ASSERT_TRUE(tree_kind_from_name(tree_kind_name(k), out));
+    EXPECT_EQ(out, k);
+  }
+  TreeKind out;
+  EXPECT_FALSE(tree_kind_from_name("nope", out));
 }
 
 TEST(Embedding, PaperFigureOneShape) {

@@ -219,5 +219,48 @@ TEST_F(CopyCounts, MappedReduceIsPureOperatorExecution) {
   }
 }
 
+// --- algorithm attribution in the trace -------------------------------------
+
+TEST_F(CopyCounts, CollSpansRecordChosenAlgorithm) {
+  // Every coll.<op> span carries the decision the call resolved to in its
+  // args, so a trace names the zoo member that produced the data movement
+  // the counters above account for.
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.tasks_per_node = 2;
+  Cluster cluster(cc);
+  lapi::Fabric fabric(cluster);
+  SrmConfig cfg;
+  cfg.decisions.profile = "forced";
+  cfg.decisions.set(coll::CollKind::allreduce, 0,
+                    {coll::Algo::ring, false, coll::TreeKind::binomial});
+  cfg.decisions.set(coll::CollKind::bcast, 0,
+                    {coll::Algo::staged, false, coll::TreeKind::binomial});
+  Communicator comm(cluster, fabric, cfg);
+  cluster.obs().set_trace_enabled(true);
+  std::vector<double> out(64, 0.0);
+  cluster.run([&](TaskCtx& t) -> CoTask {
+    std::vector<double> mine(64, 1.0 * t.rank);
+    co_await comm.allreduce(t, coll::of(mine.data(), 64),
+                            coll::of(out.data(), 64), coll::RedOp::sum);
+    std::vector<char> buf(256, static_cast<char>(t.rank == 0));
+    co_await comm.bcast(t, coll::Buf::bytes(buf.data(), buf.size()), 0);
+  });
+  int allreduce_spans = 0, bcast_spans = 0;
+  for (const obs::SpanRec& s : cluster.obs().spans()) {
+    if (s.name == "coll.allreduce") {
+      EXPECT_NE(s.args.find("\"algo\":\"ring\""), std::string::npos)
+          << s.args;
+      ++allreduce_spans;
+    } else if (s.name == "coll.bcast") {
+      EXPECT_NE(s.args.find("\"algo\":\"staged\""), std::string::npos)
+          << s.args;
+      ++bcast_spans;
+    }
+  }
+  EXPECT_EQ(allreduce_spans, 4);  // one per rank
+  EXPECT_EQ(bcast_spans, 4);
+}
+
 }  // namespace
 }  // namespace srm

@@ -1,0 +1,279 @@
+// coll::DecisionTable: banded lookup semantics, JSON/file round-trips,
+// malformed-input rejection, builtin tables, and the Communicator's
+// table-resolution precedence (explicit config > SRM_DECISIONS artifact >
+// builtin profile + legacy crossover-knob overrides).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/communicator.hpp"
+#include "util/check.hpp"
+
+namespace srm {
+namespace {
+
+using coll::Algo;
+using coll::CollKind;
+using coll::Decision;
+using coll::DecisionTable;
+using coll::TreeKind;
+
+// ---------------------------------------------------------------------------
+// Lookup semantics
+// ---------------------------------------------------------------------------
+
+TEST(DecisionTable, EmptyTableYieldsDefaultDecision) {
+  DecisionTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.decide(CollKind::bcast, 123456), Decision{});
+}
+
+TEST(DecisionTable, DecideReturnsLastRowAtOrBelow) {
+  DecisionTable t;
+  // Inserted out of order: rows() must come back sorted by min_bytes.
+  t.set(CollKind::allreduce, 65536, {Algo::rhalving, false, TreeKind::bine});
+  t.set(CollKind::allreduce, 0, {Algo::rd, false, TreeKind::binomial});
+  t.set(CollKind::allreduce, 4096, {Algo::ring, true, TreeKind::binary});
+  ASSERT_EQ(t.rows(CollKind::allreduce).size(), 3u);
+  EXPECT_EQ(t.rows(CollKind::allreduce)[0].min_bytes, 0u);
+  EXPECT_EQ(t.rows(CollKind::allreduce)[2].min_bytes, 65536u);
+
+  EXPECT_EQ(t.decide(CollKind::allreduce, 0).algo, Algo::rd);
+  EXPECT_EQ(t.decide(CollKind::allreduce, 4095).algo, Algo::rd);
+  EXPECT_EQ(t.decide(CollKind::allreduce, 4096).algo, Algo::ring);
+  EXPECT_TRUE(t.decide(CollKind::allreduce, 4096).mapped);
+  EXPECT_EQ(t.decide(CollKind::allreduce, 65535).algo, Algo::ring);
+  EXPECT_EQ(t.decide(CollKind::allreduce, 65536).algo, Algo::rhalving);
+  EXPECT_EQ(t.decide(CollKind::allreduce, 1 << 30).internode, TreeKind::bine);
+  // Other ops are untouched.
+  EXPECT_EQ(t.decide(CollKind::bcast, 4096), Decision{});
+}
+
+TEST(DecisionTable, SetReplacesOnCollidingMinBytes) {
+  DecisionTable t;
+  t.set(CollKind::bcast, 1024, {Algo::staged, false, TreeKind::binomial});
+  t.set(CollKind::bcast, 1024, {Algo::scatter_ag, true, TreeKind::flat});
+  ASSERT_EQ(t.rows(CollKind::bcast).size(), 1u);
+  EXPECT_EQ(t.decide(CollKind::bcast, 2048).algo, Algo::scatter_ag);
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trips
+// ---------------------------------------------------------------------------
+
+DecisionTable sample_table() {
+  DecisionTable t;
+  t.version = 1;
+  t.profile = "unit_test";
+  t.set(CollKind::bcast, 0, {Algo::staged, false, TreeKind::binomial});
+  t.set(CollKind::bcast, 65537, {Algo::scatter_ag, true, TreeKind::bine});
+  t.set(CollKind::allreduce, 0, {Algo::rd, false, TreeKind::flat});
+  t.set(CollKind::allreduce, 16385, {Algo::ring, false, TreeKind::binary});
+  t.set(CollKind::allreduce, 1 << 20,
+        {Algo::rhalving, true, TreeKind::fibonacci});
+  t.set(CollKind::reduce, 4096, {Algo::pipeline, false, TreeKind::binomial});
+  t.set(CollKind::gather, 0, {Algo::direct, true, TreeKind::binomial});
+  return t;
+}
+
+TEST(DecisionTable, JsonRoundTripIsExact) {
+  DecisionTable t = sample_table();
+  DecisionTable back = DecisionTable::from_json(t.to_json());
+  EXPECT_EQ(back, t);
+  // Idempotent: a second trip emits identical text.
+  EXPECT_EQ(back.to_json(), t.to_json());
+}
+
+TEST(DecisionTable, FileRoundTripIsExact) {
+  DecisionTable t = sample_table();
+  std::string path = ::testing::TempDir() + "/decision_test_table.json";
+  t.save(path);
+  EXPECT_EQ(DecisionTable::load(path), t);
+  std::remove(path.c_str());
+}
+
+TEST(DecisionTable, BuiltinTablesRoundTrip) {
+  EXPECT_EQ(DecisionTable::from_json(DecisionTable::ibm_sp().to_json()),
+            DecisionTable::ibm_sp());
+  EXPECT_EQ(DecisionTable::from_json(DecisionTable::modern_smp().to_json()),
+            DecisionTable::modern_smp());
+}
+
+TEST(DecisionTable, MalformedJsonThrows) {
+  EXPECT_THROW(DecisionTable::from_json(""), util::CheckError);
+  EXPECT_THROW(DecisionTable::from_json("{"), util::CheckError);
+  EXPECT_THROW(DecisionTable::from_json(
+                   R"({"ops": {"nope": [{"min_bytes": 0}]}})"),
+               util::CheckError);
+  EXPECT_THROW(DecisionTable::from_json(
+                   R"({"ops": {"bcast": [{"min_bytes": 0, "algo": "warp"}]}})"),
+               util::CheckError);
+  EXPECT_THROW(DecisionTable::load("/nonexistent/decision/table.json"),
+               util::CheckError);
+}
+
+TEST(DecisionTable, AlgoNamesRoundTrip) {
+  for (int i = 0; i < coll::kAlgoCount; ++i) {
+    Algo a = static_cast<Algo>(i);
+    Algo back{};
+    ASSERT_TRUE(coll::algo_from_name(coll::algo_name(a), back))
+        << coll::algo_name(a);
+    EXPECT_EQ(back, a);
+  }
+  Algo out{};
+  EXPECT_FALSE(coll::algo_from_name("warp", out));
+}
+
+// ---------------------------------------------------------------------------
+// Builtins express the paper's constants
+// ---------------------------------------------------------------------------
+
+TEST(DecisionTable, IbmSpIsThePapersConstants) {
+  DecisionTable t = DecisionTable::ibm_sp();
+  EXPECT_EQ(t.profile, "ibm_sp");
+  // Bcast: staged up to the 64 KB protocol switch, direct beyond.
+  EXPECT_EQ(t.decide(CollKind::bcast, 64 * 1024).algo, Algo::staged);
+  EXPECT_EQ(t.decide(CollKind::bcast, 64 * 1024 + 1).algo, Algo::direct);
+  // Allreduce: recursive doubling up to 16 KB, pipelined beyond.
+  EXPECT_EQ(t.decide(CollKind::allreduce, 16 * 1024).algo, Algo::rd);
+  EXPECT_EQ(t.decide(CollKind::allreduce, 16 * 1024 + 1).algo, Algo::pipeline);
+  // Single-copy crossover at 16 KB (advisory until single_copy opts in).
+  EXPECT_FALSE(t.decide(CollKind::bcast, 16 * 1024 - 1).mapped);
+  EXPECT_TRUE(t.decide(CollKind::bcast, 16 * 1024).mapped);
+}
+
+TEST(DecisionTable, BuiltinLookupByProfileName) {
+  ASSERT_NE(DecisionTable::builtin("ibm_sp"), nullptr);
+  EXPECT_EQ(*DecisionTable::builtin("ibm_sp"), DecisionTable::ibm_sp());
+  ASSERT_NE(DecisionTable::builtin("modern_smp"), nullptr);
+  EXPECT_EQ(DecisionTable::builtin("custom"), nullptr);
+  EXPECT_EQ(DecisionTable::builtin("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Communicator resolution precedence
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  Fixture(int nodes, int per_node, SrmConfig cfg = {},
+          machine::MachineParams params = machine::MachineParams::ibm_sp())
+      : cluster(make_cfg(nodes, per_node, params)),
+        fabric(cluster),
+        comm(cluster, fabric, cfg) {}
+  static machine::ClusterConfig make_cfg(int nodes, int per_node,
+                                         machine::MachineParams params) {
+    machine::ClusterConfig c;
+    c.nodes = nodes;
+    c.tasks_per_node = per_node;
+    c.params = params;
+    return c;
+  }
+  machine::Cluster cluster;
+  lapi::Fabric fabric;
+  Communicator comm;
+};
+
+TEST(Resolution, DefaultConfigResolvesProfileBuiltin) {
+  Fixture sp(2, 2);
+  EXPECT_EQ(sp.comm.decisions(), DecisionTable::ibm_sp());
+  Fixture smp(2, 2, {}, machine::MachineParams::modern_smp());
+  EXPECT_EQ(smp.comm.decisions(), DecisionTable::modern_smp());
+  // Unknown profiles fall back to the paper's table.
+  machine::MachineParams hand = machine::MachineParams::ibm_sp();
+  hand.profile = "custom";
+  Fixture custom(2, 2, {}, hand);
+  EXPECT_EQ(custom.comm.decisions(), DecisionTable::ibm_sp());
+}
+
+TEST(Resolution, ExplicitConfigTableWinsVerbatim) {
+  SrmConfig cfg;
+  cfg.decisions = sample_table();
+  // Legacy knobs would rewrite rows — an explicit table must be verbatim.
+  cfg.allreduce_rd_max = 1024;
+  Fixture f(2, 2, cfg);
+  EXPECT_EQ(f.comm.decisions(), sample_table());
+}
+
+TEST(Resolution, EnvArtifactBeatsBuiltinButNotExplicit) {
+  std::string path = ::testing::TempDir() + "/decision_test_env.json";
+  DecisionTable art = sample_table();
+  art.profile = "env_artifact";
+  art.save(path);
+  ASSERT_EQ(setenv("SRM_DECISIONS", path.c_str(), 1), 0);
+  {
+    Fixture f(2, 2);
+    EXPECT_EQ(f.comm.decisions(), art);
+    SrmConfig cfg;
+    cfg.decisions = sample_table();
+    Fixture g(2, 2, cfg);
+    EXPECT_EQ(g.comm.decisions(), sample_table());
+  }
+  ASSERT_EQ(unsetenv("SRM_DECISIONS"), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Resolution, LegacyKnobsOverrideBuiltinRows) {
+  // allreduce_rd_max moves the rd/pipeline crossover.
+  SrmConfig cfg;
+  cfg.allreduce_rd_max = 4096;
+  Fixture f(2, 2, cfg);
+  EXPECT_EQ(f.comm.decisions().decide(CollKind::allreduce, 4096).algo,
+            Algo::rd);
+  EXPECT_EQ(f.comm.decisions().decide(CollKind::allreduce, 4097).algo,
+            Algo::pipeline);
+
+  // bcast_small_max moves the staged/direct protocol switch. The shared
+  // buffer must hold the largest small-protocol message.
+  SrmConfig cfg2;
+  cfg2.bcast_small_max = 32 * 1024;
+  Fixture g(2, 2, cfg2);
+  EXPECT_EQ(g.comm.decisions().decide(CollKind::bcast, 32 * 1024).algo,
+            Algo::staged);
+  EXPECT_EQ(g.comm.decisions().decide(CollKind::bcast, 32 * 1024 + 1).algo,
+            Algo::direct);
+
+  // single_copy_min rewrites every op's mapped column.
+  SrmConfig cfg3;
+  cfg3.single_copy = true;
+  cfg3.single_copy_min = 1;
+  Fixture h(2, 2, cfg3);
+  EXPECT_TRUE(h.comm.decisions().decide(CollKind::bcast, 1).mapped);
+  EXPECT_TRUE(h.comm.decisions().decide(CollKind::reduce, 64).mapped);
+  EXPECT_FALSE(h.comm.decisions().decide(CollKind::bcast, 0).mapped);
+
+  // internode_tree rewrites every row's tree column.
+  SrmConfig cfg4;
+  cfg4.internode_tree = TreeKind::binary;
+  Fixture i(2, 2, cfg4);
+  EXPECT_EQ(
+      i.comm.decisions().decide(CollKind::allreduce, 1 << 20).internode,
+      TreeKind::binary);
+}
+
+TEST(Resolution, SanitizerKeepsImpossibleRowsOffTheDispatch) {
+  // A zoo algorithm on an op that has no such implementation must degrade
+  // to a working path, never crash dispatch.
+  SrmConfig cfg;
+  cfg.decisions.profile = "forced";
+  cfg.decisions.set(CollKind::allreduce, 0,
+                    {Algo::scatter_ag, false, TreeKind::binomial});
+  cfg.decisions.set(CollKind::bcast, 0,
+                    {Algo::ring, false, TreeKind::binomial});
+  cfg.decisions.set(CollKind::reduce, 0,
+                    {Algo::ring, false, TreeKind::binomial});
+  Fixture f(2, 2, cfg);
+  EXPECT_EQ(f.comm.decide(CollKind::allreduce, 1024).algo, Algo::pipeline);
+  EXPECT_EQ(f.comm.decide(CollKind::bcast, 1024).algo, Algo::direct);
+  EXPECT_EQ(f.comm.decide(CollKind::reduce, 1024).algo, Algo::staged);
+  // Staged bcast beyond the shared buffer degrades to the direct protocol.
+  SrmConfig cfg2;
+  cfg2.decisions.profile = "forced";
+  cfg2.decisions.set(CollKind::bcast, 0,
+                     {Algo::staged, false, TreeKind::binomial});
+  Fixture g(2, 2, cfg2);
+  EXPECT_EQ(g.comm.decide(CollKind::bcast, 1 << 20).algo, Algo::direct);
+}
+
+}  // namespace
+}  // namespace srm
