@@ -20,6 +20,13 @@
 #                    --check (JSON round-trip + tuned-never-loses gates)
 #                    under SRM_SV_SELFCHECK=1; also runnable alone via
 #                    `ci/check.sh tune`
+#   1e. sa         — static analyzer: all fifteen protocol models lint
+#                    clean, both builtin decision tables proven
+#                    dominance-free with their analytic crossovers printed,
+#                    the mutation gauntlet fully classified by lint rule,
+#                    and the tune artifacts (when stage 1d left them behind)
+#                    cross-checked for dominance; also runnable alone via
+#                    `ci/check.sh sa`
 #   2. sanitize    — ASan+UBSan build, full ctest
 #   3. chk-off     — SRM_CHK=OFF build (checker compiled out), full ctest
 #   4. tidy        — clang-tidy over src/ with warnings-as-errors (enforced
@@ -130,6 +137,27 @@ run_sv() {
   (cd "$dir/bench" && SRM_SV_SELFCHECK=1 ./abl_single_copy --smoke >/dev/null)
 }
 
+run_sa() {
+  local dir="build-ci/default"
+  echo "=== [sa] static analyzer: lint + dominance + gauntlet ==="
+  cmake -B "$dir" -S . -DSRM_CHK=ON -DSRM_MC=ON >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target sa_verify >/dev/null
+  "$dir/src/sa_verify" lint
+  "$dir/src/sa_verify" dominance --profile ibm_sp
+  "$dir/src/sa_verify" dominance --profile modern_smp
+  "$dir/src/sa_verify" gauntlet
+  # Cross-validate the empirical tuner's artifacts against the analytic
+  # model when the tune stage already produced them (skipped in a bare
+  # `ci/check.sh sa` run so the stage stays self-contained).
+  local art
+  for art in "$dir/bench/tuned_ibm_sp.json" "$dir/bench/tuned_modern_smp.json"
+  do
+    if [[ -f "$art" ]]; then
+      "$dir/src/sa_verify" crosscheck "$art"
+    fi
+  done
+}
+
 if [[ "$MODE" == "perf" ]]; then
   run_perf_gate
   echo "=== perf gate passed ==="
@@ -148,10 +176,17 @@ if [[ "$MODE" == "tune" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "sa" ]]; then
+  run_sa
+  echo "=== sa stage passed ==="
+  exit 0
+fi
+
 run_stage default -DSRM_CHK=ON -DSRM_MC=ON
 run_perf_gate
 run_sv
 run_tune
+run_sa
 
 if [[ "$MODE" != "fast" ]]; then
   run_stage sanitize -DSRM_CHK=ON -DSRM_SANITIZE=address,undefined

@@ -200,6 +200,8 @@ DecisionTable DecisionTable::from_json(std::string_view text) {
         sc.expect(':');
         sc.expect('[');
         bool first_row = true;
+        bool have_prev = false;
+        std::size_t prev_min = 0;
         while (!sc.peek(']')) {
           if (!first_row) sc.expect(',');
           first_row = false;
@@ -213,7 +215,7 @@ DecisionTable DecisionTable::from_json(std::string_view text) {
             std::string f = sc.string();
             sc.expect(':');
             if (f == "min_bytes") {
-              min_bytes = static_cast<std::size_t>(sc.number());
+              min_bytes = sc.number();
             } else if (f == "algo") {
               std::string a = sc.string();
               if (!algo_from_name(a, d.algo)) sc.die("unknown algo " + a);
@@ -228,6 +230,19 @@ DecisionTable DecisionTable::from_json(std::string_view text) {
             }
           }
           sc.expect('}');
+          // set() silently replaces a colliding row, which is the right
+          // API for programmatic edits but hides authoring mistakes in a
+          // loaded file: a duplicate or out-of-order min_bytes means one
+          // row silently wins. Reject those with a structured error.
+          if (have_prev && min_bytes <= prev_min) {
+            std::ostringstream os;
+            os << "rows for \"" << op_name
+               << "\" must be strictly ascending in min_bytes: " << min_bytes
+               << " follows " << prev_min;
+            throw ValidationError(op, -1, "min_bytes", os.str());
+          }
+          have_prev = true;
+          prev_min = min_bytes;
           t.set(op, min_bytes, d);
         }
         sc.expect(']');

@@ -38,17 +38,28 @@ constexpr std::array<coll::CollKind, 8> kAllOps = {
     coll::CollKind::allgather, coll::CollKind::reduce_scatter,
 };
 
+/// Where a Communicator's table actually came from, for the construction
+/// span: which precedence branch won, plus the identifying detail (the
+/// artifact path for env, the profile name for builtin).
+struct ResolvedTable {
+  coll::DecisionTable table;
+  const char* source = "builtin";  // "config" | "env" | "builtin"
+  std::string detail;
+};
+
 /// The table-source precedence of config.hpp: an explicit config table is
 /// used verbatim; an SRM_DECISIONS artifact is used verbatim; otherwise the
 /// builtin profile table (ibm_sp for unknown profiles) with any legacy
 /// crossover knobs that deviate from their defaults re-imposed on top, so
 /// code written against the old scattered fields keeps its exact semantics.
-coll::DecisionTable resolve_table(const SrmConfig& cfg,
-                                  const machine::MachineParams& params) {
-  if (!cfg.decisions.empty()) return cfg.decisions;
+ResolvedTable resolve_table(const SrmConfig& cfg,
+                            const machine::MachineParams& params) {
+  if (!cfg.decisions.empty()) {
+    return {cfg.decisions, "config", cfg.decisions.profile};
+  }
   if (const char* env = std::getenv("SRM_DECISIONS");
       env != nullptr && env[0] != '\0') {
-    return coll::DecisionTable::load(env);
+    return {coll::DecisionTable::load(env), "env", env};
   }
   const coll::DecisionTable* bt = coll::DecisionTable::builtin(params.profile);
   coll::DecisionTable tb = bt != nullptr ? *bt : coll::DecisionTable::ibm_sp();
@@ -82,7 +93,20 @@ coll::DecisionTable resolve_table(const SrmConfig& cfg,
                    });
     }
   }
-  return tb;
+  return {std::move(tb), "builtin",
+          bt != nullptr ? params.profile : "ibm_sp"};
+}
+
+/// Minimal JSON string escaping for the span args (paths may carry
+/// backslashes on exotic setups; quotes are the only realistic hazard).
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
 }
 
 }  // namespace
@@ -282,11 +306,21 @@ Communicator::Communicator(machine::Cluster& cluster, lapi::Fabric& fabric,
     : cluster_(&cluster),
       fabric_(&fabric),
       cfg_(cfg),
-      table_(resolve_table(cfg, cluster.params())),
       name_(std::move(name)),
       sym_(cluster, coll::sym::Profile{cluster.params().net.o_send,
                                        cfg.bcast_net_chunk,
                                        cfg.internode_tree}) {
+  ResolvedTable rt = resolve_table(cfg, cluster.params());
+  table_ = std::move(rt.table);
+  // Record which precedence branch supplied the table. A mis-set
+  // SRM_DECISIONS silently changing every dispatch is otherwise invisible
+  // in a trace; this span makes the provenance a first-class artifact.
+  std::size_t sid = cluster.obs().span_begin(
+      0, "srm.decisions",
+      "{\"source\":" + json_str(rt.source) +
+          ",\"detail\":" + json_str(rt.detail) +
+          ",\"profile\":" + json_str(table_.profile) + "}");
+  cluster.obs().span_end(sid);
   SRM_CHECK(cfg_.smp_buf_bytes >= cfg_.bcast_small_max);
   SRM_CHECK(cfg_.reduce_chunk % 8 == 0);
   SRM_CHECK(cfg_.bcast_pipe_chunk > 0 && cfg_.bcast_net_chunk > 0);

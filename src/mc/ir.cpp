@@ -52,6 +52,10 @@ int Program::find_thread(const std::string& n) const {
   return -1;
 }
 
+void Program::window(int b, int pub_var, int done_var, int owner_tid) {
+  windows.push_back(Window{b, pub_var, done_var, owner_tid});
+}
+
 void Program::push(int tid, Op op) {
   threads.at(static_cast<std::size_t>(tid)).ops.push_back(std::move(op));
 }
@@ -137,6 +141,16 @@ void Program::validate() const {
                                                << op.label << "'");
       }
     }
+  }
+  for (const Window& w : windows) {
+    SRM_CHECK_MSG(w.buf >= 0 && w.buf < static_cast<int>(buf_names.size()) &&
+                      w.pub_var >= 0 &&
+                      w.pub_var < static_cast<int>(var_names.size()) &&
+                      w.done_var >= 0 &&
+                      w.done_var < static_cast<int>(var_names.size()) &&
+                      w.owner >= 0 &&
+                      w.owner < static_cast<int>(threads.size()),
+                  "program '" << name << "': bad window registration");
   }
 }
 

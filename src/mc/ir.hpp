@@ -61,6 +61,18 @@ struct Thread {
   std::vector<Op> ops;
 };
 
+/// A shm::Mapping window as the single-copy protocols model it: a shared
+/// buffer plus its publish generation flag and detach counter, owned by the
+/// exporting thread. The emitters register every window they lay down so
+/// static analyses (src/sa) can check the publish/attach/detach/retract
+/// discipline structurally instead of re-deriving it from object names.
+struct Window {
+  int buf = -1;
+  int pub_var = -1;
+  int done_var = -1;
+  int owner = -1;  ///< thread id of the exporting task
+};
+
 /// A complete protocol instance. Build with the helpers below; every name is
 /// interned once (re-declaring a var with a different initial value is an
 /// error caught by validate()).
@@ -71,6 +83,7 @@ struct Program {
   std::vector<std::string> buf_names;
   std::vector<std::string> chan_names;
   std::vector<Thread> threads;
+  std::vector<Window> windows;
 
   int var(const std::string& n, std::uint64_t init = 0);
   int buf(const std::string& n);
@@ -78,6 +91,10 @@ struct Program {
   int thread(const std::string& n);
   /// Find an existing thread by name (-1 when absent).
   int find_thread(const std::string& n) const;
+  /// Register a shm::Mapping window (buffer + publish flag + detach counter
+  /// + owning thread) for the introspection passes. validate() checks the
+  /// indices.
+  void window(int buf, int pub_var, int done_var, int owner_tid);
 
   // --- op emitters (labels are generated from the object names) ------------
   void set(int tid, int var, std::uint64_t v);

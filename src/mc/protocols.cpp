@@ -585,6 +585,7 @@ struct Builder {
     int win = p.buf(id("win" + num(n) + ".0"));
     int pubv = p.var(id("mpub" + num(n) + ".0"));
     int donev = p.var(id("mdone" + num(n) + ".0"));
+    p.window(win, pubv, donev, owner);
     bool relay_on = T() >= 3;
     // Owner: publish (produce the data, then release the generation flag).
     p.write(owner, win, 0, W());
@@ -604,6 +605,7 @@ struct Builder {
       int win2 = p.buf(id("win" + num(n) + ".1"));
       int pub2 = p.var(id("mpub" + num(n) + ".1"));
       int done2 = p.var(id("mdone" + num(n) + ".1"));
+      p.window(win2, pub2, done2, relay);
       p.write(relay, win2, 0, W());
       p.set(relay, pub2, 1);
       for (int l = 2; l < T(); ++l) {
@@ -688,6 +690,7 @@ struct Builder {
       if (T() == 1) continue;
       for (int l : leaves) {
         int t = rk(n, l);
+        p.window(win(n, l), wpub(n, l), wdone(n, l), t);
         p.write(t, win(n, l), 0, W());
         p.set(t, wpub(n, l), 1);
       }
@@ -778,6 +781,7 @@ struct Builder {
     int win = p.buf(id("swin0"));
     int pubv = p.var(id("spub0"));
     int donev = p.var(id("sdone0"));
+    p.window(win, pubv, donev, root);
     p.write(root, win, 0, W());
     p.set(root, pubv, 1);
     for (int c = 0; c < C(); ++c) {
@@ -823,6 +827,7 @@ struct Builder {
     auto wdone = [&](int l) { return p.var(id("gwdone0[" + num(l) + "]")); };
     for (int l = 1; l < T(); ++l) {
       int t = rk(0, l);
+      p.window(win(l), wpub(l), wdone(l), t);
       p.write(t, win(l), 0, 1);
       p.set(t, wpub(l), 1);
     }

@@ -1,0 +1,130 @@
+// srm::sa — static cost & protocol-lint analyzer over the mc IR.
+//
+// This header is pass (1) of the analyzer: symbolic critical-path
+// extraction. A protocol Program is *abstractly executed* once, on the
+// canonical ASAP schedule (every thread runs as soon as its next guard is
+// satisfiable; ties resolve to the blocked thread, then the lowest thread
+// index). Unlike the model checker, no interleavings are enumerated and no
+// state space is built: one deterministic pass yields
+//
+//   * a completion time per thread under a machine::MachineParams profile,
+//   * a closed-form cost Formula for the finishing thread's critical path —
+//     a linear expression over the model's cost atoms (LogGP terms, copy /
+//     combine bytes, flag and LAPI software costs), printable as a formula
+//     and evaluable against any profile with the same structure,
+//   * the happens-before instrumentation of that schedule (the same vector
+//     clocks mc.cpp maintains), which the lint pass reuses for a sound
+//     static race/deadlock check on the canonical execution.
+//
+// The mc IR moves one model byte per local task; a Plan scales model bytes
+// to real protocol bytes per buffer (whole-message protocols carry
+// bytes/(chunks*tasks) per model byte, slice protocols carry a per-rank
+// block) and marks which destination buffers accumulate (reduce combines)
+// rather than copy.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "mc/ir.hpp"
+
+namespace srm::sa {
+
+/// The cost atoms of the machine model. The first group counts events, the
+/// *_bytes atoms count (effective) bytes; a Formula is a linear combination
+/// of all of them.
+enum class Atom : int {
+  copy_start,     ///< fixed cost to start a memcpy
+  copy_bytes,     ///< bytes through the single-stream copy path
+  combine_bytes,  ///< operand bytes through the reduction combine path
+  flag_set,       ///< shared-flag store -> spinning-reader visibility
+  flag_poll,      ///< one poll of a shared flag / counter
+  lapi_call,      ///< LAPI library call entry (put / Waitcntr)
+  poll_dispatch,  ///< dispatcher processing one arrived message
+  o_send,         ///< LogGP o: CPU cost to initiate a message
+  gap,            ///< LogGP g: per-message NIC gap
+  latency,        ///< LogGP L: wire + switch latency
+  wire_bytes,     ///< LogGP G: bytes serialized onto the link
+  map_publish,    ///< export a user-buffer window (single-copy)
+  map_attach,     ///< attach to a published window
+};
+inline constexpr int kAtomCount = 13;
+const char* atom_name(Atom a);
+
+/// Per-atom evaluation rates (ns per event, ns per byte), extracted from a
+/// MachineParams profile. Kept as plain doubles so formulas evaluate with
+/// one dot product.
+struct CostRates {
+  std::array<double, kAtomCount> ns{};  // event atoms: ns; byte atoms: ns/B
+  machine::TopologyParams topo;         // window-read distance factors
+  static CostRates from(const machine::MachineParams& p);
+};
+
+/// A closed-form cost expression: count (or byte total) per atom. Linear in
+/// the message size within one chunk regime, so two evaluations pin the
+/// slope and intercept exactly.
+struct Formula {
+  std::array<double, kAtomCount> n{};
+
+  double operator[](Atom a) const { return n[static_cast<std::size_t>(a)]; }
+  void bump(Atom a, double k = 1.0) { n[static_cast<std::size_t>(a)] += k; }
+  void accumulate(const Formula& o);
+  double eval(const CostRates& r) const;
+  /// "2 o_send + 2 gap + 2 L + 131072 B_wire + ..." — zero terms omitted.
+  std::string to_string() const;
+};
+
+/// Scales IR model bytes to protocol bytes and classifies buffers.
+struct Plan {
+  /// Real bytes represented by one model byte (default for every buffer).
+  double default_unit = 1.0;
+  /// Buffer-name substring -> unit override, first match wins (e.g. the
+  /// zoo exchange landing buffers carry half-blocks).
+  std::vector<std::pair<std::string, double>> unit_overrides;
+  /// Written buffers whose name contains one of these substrings take the
+  /// reduction-combine rate instead of the copy rate.
+  std::vector<std::string> accumulators;
+
+  double unit_of(const std::string& buf_name) const;
+  bool accumulates(const std::string& buf_name) const;
+};
+
+/// One thread wedged at a guard in the canonical execution (static
+/// deadlock residue).
+struct Stall {
+  std::string thread;
+  int op_index = 0;
+  std::string label;
+};
+
+/// A happens-before race found on the canonical schedule. Sound: the
+/// canonical execution is a real interleaving, so any race on it is a race
+/// of the protocol.
+struct Race {
+  std::string buf;
+  std::string thread_a, label_a;
+  std::string thread_b, label_b;
+};
+
+struct AnalyzeResult {
+  bool completed = false;        ///< every thread ran to the end
+  double ns = 0.0;               ///< completion time of the last thread
+  Formula critical_path;         ///< formula carried by that thread
+  /// Aggregate node memory traffic: every rank thread's copy/combine bytes
+  /// summed across ALL threads (the critical path sees only one thread's).
+  /// Same per-stream accounting basis as the time model. This is the
+  /// second dominance axis: on a full node the fair-share bus saturates
+  /// long before the 4-task model's critical path does, so an algorithm
+  /// that moves fewer total bytes can merit a slower single-call path.
+  double bus_bytes = 0.0;
+  std::vector<Stall> stalls;     ///< non-empty iff !completed
+  std::vector<Race> races;
+};
+
+/// Abstractly execute @p p once on the canonical ASAP schedule.
+AnalyzeResult analyze(const mc::Program& p, const Plan& plan,
+                      const CostRates& rates);
+
+}  // namespace srm::sa

@@ -113,6 +113,54 @@ TEST(DecisionTable, MalformedJsonThrows) {
                util::CheckError);
 }
 
+TEST(DecisionTable, FromJsonRejectsUnknownVersion) {
+  EXPECT_THROW(
+      DecisionTable::from_json(R"({"version": 7, "ops": {}})"),
+      util::CheckError);
+}
+
+TEST(DecisionTable, FromJsonRejectsNonBooleanMappedFlag) {
+  EXPECT_THROW(DecisionTable::from_json(
+                   R"({"ops": {"bcast": [{"min_bytes": 0, "mapped": 2}]}})"),
+               util::CheckError);
+}
+
+TEST(DecisionTable, FromJsonRejectsUnknownTreeKind) {
+  EXPECT_THROW(
+      DecisionTable::from_json(
+          R"({"ops": {"bcast": [{"min_bytes": 0, "internode": "star"}]}})"),
+      util::CheckError);
+}
+
+TEST(DecisionTable, FromJsonRejectsDuplicateMinBytes) {
+  // In-memory set() replaces on collision (SetReplacesOnCollidingMinBytes
+  // above); a loaded file must instead fail loudly with the row pinpointed.
+  const char* dup =
+      R"({"ops": {"allreduce": [{"min_bytes": 4096, "algo": "rd"},
+                                {"min_bytes": 4096, "algo": "ring"}]}})";
+  try {
+    DecisionTable::from_json(dup);
+    FAIL() << "duplicate min_bytes accepted";
+  } catch (const coll::ValidationError& e) {
+    EXPECT_EQ(e.op(), CollKind::allreduce);
+    EXPECT_EQ(e.field(), "min_bytes");
+    EXPECT_NE(std::string(e.what()).find("4096"), std::string::npos);
+  }
+}
+
+TEST(DecisionTable, FromJsonRejectsDescendingMinBytes) {
+  const char* desc =
+      R"({"ops": {"bcast": [{"min_bytes": 1024, "algo": "staged"},
+                            {"min_bytes": 0, "algo": "direct"}]}})";
+  try {
+    DecisionTable::from_json(desc);
+    FAIL() << "descending min_bytes accepted";
+  } catch (const coll::ValidationError& e) {
+    EXPECT_EQ(e.op(), CollKind::bcast);
+    EXPECT_EQ(e.field(), "min_bytes");
+  }
+}
+
 TEST(DecisionTable, AlgoNamesRoundTrip) {
   for (int i = 0; i < coll::kAlgoCount; ++i) {
     Algo a = static_cast<Algo>(i);
@@ -211,6 +259,70 @@ TEST(Resolution, EnvArtifactBeatsBuiltinButNotExplicit) {
   }
   ASSERT_EQ(unsetenv("SRM_DECISIONS"), 0);
   std::remove(path.c_str());
+}
+
+/// The args JSON of the "srm.decisions" span, or "" if never recorded.
+std::string decisions_span_args(machine::Cluster& cluster) {
+  for (const obs::SpanRec& s : cluster.obs().spans()) {
+    if (s.name == "srm.decisions") return s.args;
+  }
+  return "";
+}
+
+TEST(Resolution, ConstructionSpanRecordsTableSource) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SRM_OBS=OFF";
+  // Builtin branch: source + the profile that selected the table.
+  {
+    machine::Cluster cluster(
+        Fixture::make_cfg(2, 2, machine::MachineParams::ibm_sp()));
+    cluster.obs().set_trace_enabled(true);
+    lapi::Fabric fabric(cluster);
+    Communicator comm(cluster, fabric, {});
+    EXPECT_EQ(decisions_span_args(cluster),
+              R"({"source":"builtin","detail":"ibm_sp","profile":"ibm_sp"})");
+  }
+  // Explicit-config branch.
+  {
+    machine::Cluster cluster(
+        Fixture::make_cfg(2, 2, machine::MachineParams::ibm_sp()));
+    cluster.obs().set_trace_enabled(true);
+    lapi::Fabric fabric(cluster);
+    SrmConfig cfg;
+    cfg.decisions = sample_table();
+    Communicator comm(cluster, fabric, cfg);
+    EXPECT_EQ(
+        decisions_span_args(cluster),
+        R"({"source":"config","detail":"unit_test","profile":"unit_test"})");
+  }
+  // Env-artifact branch: the detail is the artifact path.
+  {
+    std::string path = ::testing::TempDir() + "/decision_test_span.json";
+    DecisionTable art = sample_table();
+    art.profile = "env_artifact";
+    art.save(path);
+    ASSERT_EQ(setenv("SRM_DECISIONS", path.c_str(), 1), 0);
+    {
+      machine::Cluster cluster(
+          Fixture::make_cfg(2, 2, machine::MachineParams::ibm_sp()));
+      cluster.obs().set_trace_enabled(true);
+      lapi::Fabric fabric(cluster);
+      Communicator comm(cluster, fabric, {});
+      EXPECT_EQ(decisions_span_args(cluster),
+                "{\"source\":\"env\",\"detail\":\"" + path +
+                    "\",\"profile\":\"env_artifact\"}");
+    }
+    ASSERT_EQ(unsetenv("SRM_DECISIONS"), 0);
+    std::remove(path.c_str());
+  }
+  // Tracing off: nothing recorded — provenance must not cost anything in
+  // untraced runs.
+  {
+    machine::Cluster cluster(
+        Fixture::make_cfg(2, 2, machine::MachineParams::ibm_sp()));
+    lapi::Fabric fabric(cluster);
+    Communicator comm(cluster, fabric, {});
+    EXPECT_EQ(decisions_span_args(cluster), "");
+  }
 }
 
 TEST(Resolution, LegacyKnobsOverrideBuiltinRows) {

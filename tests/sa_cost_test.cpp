@@ -1,0 +1,125 @@
+// srm::sa pass (1): the abstract executor — completion, formula linearity,
+// the bus-traffic axis, and the eager-await semantics that make the
+// canonical-schedule race check catch dropped-gate bugs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "machine/params.hpp"
+#include "mc/protocols.hpp"
+#include "sa/cost.hpp"
+#include "sa/dominance.hpp"
+
+namespace srm {
+namespace {
+
+sa::CostRates sp_rates() {
+  return sa::CostRates::from(machine::MachineParams::ibm_sp());
+}
+
+mc::Mutant mutant(const std::string& name) {
+  for (mc::Mutant& m : mc::mutation_gauntlet()) {
+    if (m.name == name) return std::move(m);
+  }
+  ADD_FAILURE() << "no such mutant " << name;
+  return {};
+}
+
+TEST(SaCost, CleanProtocolsCompleteWithoutResidue) {
+  for (mc::Proto proto : mc::all_protos()) {
+    mc::Program p = mc::build(proto, {2, 2, 1});
+    sa::AnalyzeResult r = sa::analyze(p, {}, sp_rates());
+    EXPECT_TRUE(r.completed) << mc::proto_name(proto);
+    EXPECT_TRUE(r.stalls.empty()) << mc::proto_name(proto);
+    EXPECT_TRUE(r.races.empty()) << mc::proto_name(proto);
+    EXPECT_GT(r.ns, 0.0) << mc::proto_name(proto);
+    EXPECT_TRUE(std::isfinite(r.ns)) << mc::proto_name(proto);
+  }
+}
+
+TEST(SaCost, FormulaEvalIsTheDotProduct) {
+  mc::Program p = mc::build(mc::Proto::bcast, {2, 4, 2});
+  sa::CostRates rates = sp_rates();
+  sa::AnalyzeResult r = sa::analyze(p, {}, rates);
+  double dot = 0.0;
+  for (int a = 0; a < sa::kAtomCount; ++a) {
+    dot += r.critical_path.n[static_cast<std::size_t>(a)] *
+           rates.ns[static_cast<std::size_t>(a)];
+  }
+  EXPECT_NEAR(r.critical_path.eval(rates), dot, 1e-9);
+  EXPECT_FALSE(r.critical_path.to_string().empty());
+}
+
+TEST(SaCost, PlanScalesBytesLinearly) {
+  // Within one chunk regime the cost is affine in the per-byte unit: the
+  // byte atoms scale with the plan, the event atoms do not.
+  mc::Program p = mc::build(mc::Proto::bcast, {2, 4, 1});
+  sa::Plan small;
+  small.default_unit = 1024.0;
+  sa::Plan big;
+  big.default_unit = 4096.0;
+  sa::AnalyzeResult rs = sa::analyze(p, small, sp_rates());
+  sa::AnalyzeResult rb = sa::analyze(p, big, sp_rates());
+  EXPECT_NEAR(rb.critical_path[sa::Atom::copy_bytes],
+              4.0 * rs.critical_path[sa::Atom::copy_bytes], 1e-6);
+  EXPECT_NEAR(rb.critical_path[sa::Atom::o_send],
+              rs.critical_path[sa::Atom::o_send], 1e-9);
+  EXPECT_GT(rb.ns, rs.ns);
+  EXPECT_NEAR(rb.bus_bytes, 4.0 * rs.bus_bytes, 1e-6);
+}
+
+TEST(SaCost, BusBytesSumAllThreadsNotJustCriticalPath) {
+  mc::Program p = mc::build(mc::Proto::reduce, {2, 4, 1});
+  sa::AnalyzeResult r = sa::analyze(p, {}, sp_rates());
+  double cp_bytes = r.critical_path[sa::Atom::copy_bytes] +
+                    r.critical_path[sa::Atom::combine_bytes];
+  EXPECT_GT(r.bus_bytes, cp_bytes);
+}
+
+TEST(SaCost, DeadlockMutantStalls) {
+  mc::Mutant m = mutant("barrier.drop_release");
+  sa::AnalyzeResult r = sa::analyze(m.program, {}, sp_rates());
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.stalls.empty());
+}
+
+TEST(SaCost, EagerAwaitExposesDroppedGateRaces) {
+  // These two mutants drop a consumer-side gate. Under lazy await
+  // semantics (resume against the variable's LATEST value, acquiring the
+  // producer's whole clock) the race is masked: the awaiting thread
+  // inherits happens-before edges to everything the producer did since.
+  // The executor instead resumes an await against the EARLIEST admissible
+  // release satisfying its guard — a legal interleaving, and the
+  // adversarial one — so the overwrite race surfaces on the canonical
+  // schedule.
+  for (const char* name :
+       {"reduce.drop_consumed_gate", "sc_reduce.drop_acons_gate"}) {
+    mc::Mutant m = mutant(name);
+    sa::AnalyzeResult r = sa::analyze(m.program, {}, sp_rates());
+    EXPECT_FALSE(r.races.empty()) << name;
+  }
+  // And the unmutated protocols stay race-free under the same semantics.
+  for (mc::Proto proto : {mc::Proto::reduce, mc::Proto::sc_reduce}) {
+    mc::Program p = mc::build(proto, {2, 4, 2});
+    sa::AnalyzeResult r = sa::analyze(p, {}, sp_rates());
+    EXPECT_TRUE(r.races.empty()) << mc::proto_name(proto);
+  }
+}
+
+TEST(SaCost, AlgoCostGrowsWithBytes) {
+  SrmConfig cfg;
+  machine::MachineParams mp = machine::MachineParams::ibm_sp();
+  coll::Decision staged;
+  sa::AlgoCost small =
+      sa::algo_cost(coll::CollKind::bcast, staged, 4096, cfg, mp);
+  sa::AlgoCost big =
+      sa::algo_cost(coll::CollKind::bcast, staged, 32768, cfg, mp);
+  ASSERT_TRUE(small.feasible);
+  ASSERT_TRUE(big.feasible);
+  EXPECT_GT(big.ns, small.ns);
+  EXPECT_GT(big.bus_bytes, small.bus_bytes);
+}
+
+}  // namespace
+}  // namespace srm
